@@ -1,0 +1,99 @@
+// Command nvsweep characterizes eNVM memory arrays (the NVSim-like flow):
+// for a technology, capacity, and bits-per-cell it sweeps array
+// organizations and prints either the full sweep, the Pareto frontier,
+// or the single target-optimal point.
+//
+// Usage:
+//
+//	nvsweep -tech MLC-CTT -mb 12 -bpc 2 -target edp
+//	nvsweep -tech SLC-RRAM -mb 32 -bpc 1 -pareto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/envm"
+	"repro/internal/nvsim"
+)
+
+func main() {
+	techName := flag.String("tech", "MLC-CTT", "technology name")
+	techFile := flag.String("techfile", "", "JSON file with a custom technology definition (overrides -tech)")
+	capMB := flag.Float64("mb", 4, "capacity in decimal MB")
+	bpc := flag.Int("bpc", 1, "bits per cell")
+	targetName := flag.String("target", "edp", "optimization target: edp|area|latency|energy|leakage")
+	pareto := flag.Bool("pareto", false, "print the area/latency/energy Pareto frontier")
+	full := flag.Bool("full", false, "print every organization")
+	flag.Parse()
+
+	var tech envm.Tech
+	var err error
+	if *techFile != "" {
+		f, ferr := os.Open(*techFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		tech, err = envm.LoadTech(f)
+		f.Close()
+	} else {
+		tech, err = envm.ByName(*techName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target nvsim.Target
+	switch strings.ToLower(*targetName) {
+	case "edp":
+		target = nvsim.OptReadEDP
+	case "area":
+		target = nvsim.OptArea
+	case "latency":
+		target = nvsim.OptReadLatency
+	case "energy":
+		target = nvsim.OptReadEnergy
+	case "leakage":
+		target = nvsim.OptLeakage
+	default:
+		fmt.Fprintf(os.Stderr, "nvsweep: unknown target %q\n", *targetName)
+		os.Exit(2)
+	}
+
+	cfg := nvsim.Config{
+		Tech: tech, BPC: *bpc,
+		CapacityBits: int64(*capMB * 8e6),
+		Target:       target,
+	}
+	header := func() {
+		fmt.Printf("%6s %5s %5s %9s %9s %10s %12s %10s %10s\n",
+			"banks", "mats", "width", "rows", "cols", "area mm2", "latency ns", "pJ/access", "GB/s")
+	}
+	row := func(r nvsim.Result) {
+		fmt.Printf("%6d %5d %5d %9d %9d %10.3f %12.2f %10.2f %10.2f\n",
+			r.Banks, r.Mats, r.DataWidth, r.Rows, r.Cols,
+			r.AreaMM2, r.ReadLatencyNs, r.ReadEnergyPJ, r.ReadBandwidthGBs)
+	}
+
+	fmt.Printf("%s, %.1f MB, %d bit/cell\n", tech.Name, *capMB, *bpc)
+	switch {
+	case *full:
+		header()
+		for _, r := range nvsim.Sweep(cfg) {
+			row(r)
+		}
+	case *pareto:
+		fmt.Println("Pareto frontier (area x latency x energy):")
+		header()
+		for _, r := range nvsim.Pareto(nvsim.Sweep(cfg)) {
+			row(r)
+		}
+	default:
+		r := nvsim.Characterize(cfg)
+		header()
+		row(r)
+		fmt.Printf("write time (full array): %.4g s; leakage %.3f mW\n", r.WriteTimeSec, r.LeakageMW)
+	}
+}

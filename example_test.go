@@ -1,0 +1,42 @@
+package maxnvm_test
+
+import (
+	"fmt"
+	"log"
+
+	maxnvm "repro"
+)
+
+// Example demonstrates the core co-design loop: prepare a model, find the
+// minimal-cell storage configuration on a technology, and read out the
+// characterized array. (No Output comment: results depend on calibration
+// constants; see EXPERIMENTS.md for a recorded run.)
+func Example() {
+	ex, err := maxnvm.Explore("LeNet5", maxnvm.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := ex.Best(maxnvm.CTT)
+	sum := ex.Summary(maxnvm.CTT)
+	fmt.Printf("%s: %s, %d cells max %d bits/cell, %.3f mm2\n",
+		best.Model, best.Label(), best.TotalCells, best.MaxBPC, sum.Array.AreaMM2)
+}
+
+// Example_isolation shows the Figure 5 experiment style: evaluating a
+// single structure's vulnerability while all other structures are
+// perfect.
+func Example_isolation() {
+	ex, err := maxnvm.Explore("LeNet5", maxnvm.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Compare CSR with raw MLC3 structures vs ECC-protected ones.
+	raw := ex.Explorer().Evaluate(maxnvm.CTT, maxnvm.CSR, map[string]maxnvm.StreamPolicy{
+		"values": {BPC: 3}, "colidx": {BPC: 3}, "rowcount": {BPC: 3},
+	})
+	protected := ex.Explorer().Evaluate(maxnvm.CTT, maxnvm.CSR, map[string]maxnvm.StreamPolicy{
+		"values": {BPC: 3}, "colidx": {BPC: 3, ECC: true}, "rowcount": {BPC: 3, ECC: true},
+	})
+	fmt.Printf("raw MLC3 delta %.4f (accepted=%v), protected delta %.4f (accepted=%v)\n",
+		raw.DeltaErr, raw.Accepted, protected.DeltaErr, protected.Accepted)
+}

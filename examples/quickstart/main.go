@@ -1,0 +1,51 @@
+// Quickstart: explore MaxNVM storage for one network and print the
+// optimal on-chip memory configuration per technology.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	maxnvm "repro"
+)
+
+func main() {
+	// Prepare VGG12 (CIFAR-10 scale): synthesize weights, magnitude-prune
+	// to the paper's 40.9% sparsity, cluster to 4-bit indices, and
+	// profile the fault exposure of every stored structure.
+	ex, err := maxnvm.Explore("VGG12", maxnvm.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("VGG12 on-chip weight storage, per technology:")
+	fmt.Printf("%-14s %-16s %6s %10s %12s %12s\n",
+		"technology", "encoding", "BPC", "cells (M)", "area (mm2)", "read (ns)")
+	for _, tech := range maxnvm.Technologies() {
+		best := ex.Best(tech)
+		sum := ex.Summary(tech)
+		fmt.Printf("%-14s %-16s %6d %10.2f %12.3f %12.2f\n",
+			tech.Name, best.Label(), best.MaxBPC,
+			float64(best.TotalCells)/1e6, sum.Array.AreaMM2, sum.Array.ReadLatencyNs)
+	}
+
+	// Headline: how much denser is the co-designed MLC configuration than
+	// naive single-level-cell storage?
+	best := ex.Best(maxnvm.CTT)
+	fmt.Printf("\nMLC-CTT needs %.1fx fewer cells than dense SLC storage.\n",
+		ex.AreaBenefit(best))
+
+	// System view: drop the weights into NVDLA and compare against the
+	// DRAM baseline.
+	onchip := ex.System(maxnvm.NVDLA64, best)
+	baseline := ex.Baseline(maxnvm.NVDLA64, best)
+	fmt.Printf("\nNVDLA-64 inference (VGG12):\n")
+	fmt.Printf("  DRAM baseline: %7.1f uJ/inference, %6.1f mW, %7.1f FPS\n",
+		baseline.EnergyUJ, baseline.AvgPowerMW, baseline.FPS)
+	fmt.Printf("  on-chip CTT:   %7.1f uJ/inference, %6.1f mW, %7.1f FPS\n",
+		onchip.EnergyUJ, onchip.AvgPowerMW, onchip.FPS)
+	fmt.Printf("  -> %.1fx lower energy, %.1fx lower power\n",
+		baseline.EnergyUJ/onchip.EnergyUJ, baseline.AvgPowerMW/onchip.AvgPowerMW)
+}

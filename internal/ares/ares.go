@@ -1,0 +1,250 @@
+// Package ares re-implements the Ares application-level fault-injection
+// framework the paper uses (Section 4.1), extended as the paper extends
+// it: MLC eNVM inter-level faults, sparse-encoded weight structures, and
+// dynamic error correction/mitigation.
+//
+// The pipeline per trial is exactly the paper's: encode the clustered
+// weights into the chosen storage format, convert each structure into MLC
+// cells under its own bits-per-cell policy, sample faults from the device
+// model, apply protection (ECC correction over Gray-coded cells), decode
+// back — faithfully reproducing misalignment cascades — and evaluate the
+// resulting classification error.
+//
+// Two evaluators are provided (see DESIGN.md, "Accuracy-evaluation
+// contract"): MeasuredEvaluator runs real inference on a trained model;
+// Surrogate maps measured corruption statistics to an error delta for
+// models whose training data is out of scope (ImageNet).
+package ares
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/envm"
+	"repro/internal/quant"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// StreamPolicy selects how one stored structure is held in eNVM.
+type StreamPolicy struct {
+	// BPC is bits per cell for this structure. The sentinel value 0 means
+	// "perfect storage": no faults are injected (used by the Figure 5
+	// experiments, which isolate one structure at a time).
+	BPC int
+	// ECC enables Gray-coded SEC-DED protection (Section 3.3): the
+	// structure's bits are covered by 4KB-block Hamming codes whose
+	// parity is stored in cells with the same policy.
+	ECC bool
+}
+
+// Config describes a complete storage configuration for one layer or
+// model: the encoding format plus a per-structure cell policy.
+type Config struct {
+	Tech     envm.Tech
+	Encoding sparse.Kind
+	// Default applies to streams without an override.
+	Default StreamPolicy
+	// Overrides maps stream names ("values", "colidx", "rowcount",
+	// "bitmask", "idxsync") to specific policies.
+	Overrides map[string]StreamPolicy
+	// RetentionYears evaluates the configuration after the given storage
+	// age (drift-widened fault rates; 0 = freshly programmed).
+	RetentionYears float64
+}
+
+// PolicyFor resolves the policy of a named stream.
+func (c Config) PolicyFor(name string) StreamPolicy {
+	if p, ok := c.Overrides[name]; ok {
+		return p
+	}
+	return c.Default
+}
+
+// StoreConfig converts a stream policy into the envm storage config.
+func (c Config) StoreConfig(p StreamPolicy) envm.StoreConfig {
+	return envm.StoreConfig{Tech: c.Tech, BPC: p.BPC, Gray: p.ECC, RetentionYears: c.RetentionYears}
+}
+
+// Validate checks that every referenced policy is feasible on the tech.
+func (c Config) Validate() error {
+	check := func(p StreamPolicy) error {
+		if p.BPC == 0 { // perfect-storage sentinel
+			return nil
+		}
+		return c.StoreConfig(p).Validate()
+	}
+	if err := check(c.Default); err != nil {
+		return err
+	}
+	for name, p := range c.Overrides {
+		if err := check(p); err != nil {
+			return fmt.Errorf("ares: stream %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// String renders the configuration compactly, e.g.
+// "CSR@MLC-CTT[values:3,colidx:3+ECC,rowcount:3+ECC]".
+func (c Config) String() string {
+	s := fmt.Sprintf("%v@%s[default:%s", c.Encoding, c.Tech.Name, c.Default)
+	for name, p := range c.Overrides {
+		s += fmt.Sprintf(",%s:%s", name, p)
+	}
+	return s + "]"
+}
+
+// String renders a policy, e.g. "3+ECC".
+func (p StreamPolicy) String() string {
+	if p.ECC {
+		return fmt.Sprintf("%d+ECC", p.BPC)
+	}
+	return fmt.Sprintf("%d", p.BPC)
+}
+
+// StreamCost is the storage bill for one structure.
+type StreamCost struct {
+	Name       string
+	BPC        int
+	ECC        bool
+	DataBits   int64
+	ParityBits int64
+	Cells      int64
+}
+
+// TotalBits returns data + parity bits.
+func (sc StreamCost) TotalBits() int64 { return sc.DataBits + sc.ParityBits }
+
+// Cost computes the per-stream storage bill for an encoded layer under
+// cfg: data bits, ECC parity bits, and total cells.
+func Cost(enc sparse.Encoding, cfg Config) []StreamCost {
+	var out []StreamCost
+	for _, s := range enc.Streams() {
+		p := cfg.PolicyFor(s.Name)
+		sc := StreamCost{Name: s.Name, BPC: p.BPC, ECC: p.ECC, DataBits: s.SizeBits()}
+		if p.ECC {
+			code := ecc.NewBlockCode(ECCDataBits)
+			sc.ParityBits = code.ParityBits(int(sc.DataBits))
+		}
+		sc.Cells = envm.CellsFor(sc.TotalBits(), p.BPC)
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TotalCells sums cells over a cost bill.
+func TotalCells(costs []StreamCost) int64 {
+	var total int64
+	for _, c := range costs {
+		total += c.Cells
+	}
+	return total
+}
+
+// TotalBits sums stored bits (data + parity) over a cost bill.
+func TotalBits(costs []StreamCost) int64 {
+	var total int64
+	for _, c := range costs {
+		total += c.TotalBits()
+	}
+	return total
+}
+
+// TrialStats summarizes the weight corruption of one injected trial.
+type TrialStats struct {
+	// Faults is the number of faulted cells across all streams.
+	Faults int
+	// Corrected and Detected count ECC events.
+	Corrected, Detected int
+	// StructFrac is the fraction of weight positions whose zero/non-zero
+	// status flipped (structural corruption: sparsity pattern destroyed).
+	StructFrac float64
+	// ValueNSR is sum((w_dec-w_orig)^2) / sum(w_orig^2): weight-space
+	// noise-to-signal of the decoded layer.
+	ValueNSR float64
+	// Mismatch is the fraction of positions with a different index.
+	Mismatch float64
+}
+
+// RunTrial clones a pristine encoding, injects faults per cfg into every
+// structure, applies ECC correction where configured, decodes, and
+// compares against the original indices.
+func RunTrial(enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config, seed uint64) TrialStats {
+	st, _ := RunTrialDecoded(enc, orig, centroids, cfg, seed)
+	return st
+}
+
+// RunTrialDecoded is RunTrial but also returns the decoded index matrix,
+// so callers (the measured evaluator) can run real inference on the
+// corrupted weights.
+func RunTrialDecoded(enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config, seed uint64) (TrialStats, []uint8) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	clone := sparse.CloneEncoding(enc)
+	src := stats.NewSource(seed)
+	var st TrialStats
+	for i, s := range clone.Streams() {
+		p := cfg.PolicyFor(s.Name)
+		if p.BPC == 0 {
+			continue // perfect storage
+		}
+		sc := cfg.StoreConfig(p)
+		ssrc := src.Fork(uint64(i) + 1)
+		if p.ECC {
+			code := ecc.NewBlockCode(ECCDataBits)
+			prot := code.Protect(s.Bits)
+			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
+			st.Faults += envm.InjectArray(prot.Parity.Bits, sc, ssrc.Fork(2))
+			res := prot.Correct()
+			st.Corrected += res.Corrected
+			st.Detected += res.Detected
+		} else {
+			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
+		}
+	}
+	decoded := clone.Decode()
+	fillCorruption(&st, orig, decoded, centroids)
+	return st, decoded
+}
+
+// fillCorruption computes the corruption statistics between original and
+// decoded index matrices.
+func fillCorruption(st *TrialStats, orig, decoded []uint8, centroids []float32) {
+	if len(orig) != len(decoded) {
+		panic("ares: index length mismatch")
+	}
+	n := len(orig)
+	if n == 0 {
+		return
+	}
+	var mismatch, structN int
+	var deltaSS, signalSS float64
+	for i := range orig {
+		o, d := orig[i], decoded[i]
+		wo := float64(centroids[o])
+		signalSS += wo * wo
+		if o == d {
+			continue
+		}
+		mismatch++
+		if (o == 0) != (d == 0) {
+			structN++
+		}
+		wd := float64(centroids[d])
+		deltaSS += (wd - wo) * (wd - wo)
+	}
+	st.Mismatch = float64(mismatch) / float64(n)
+	st.StructFrac = float64(structN) / float64(n)
+	if signalSS > 0 {
+		st.ValueNSR = deltaSS / signalSS
+	} else if deltaSS > 0 {
+		st.ValueNSR = 1
+	}
+}
+
+// EncodeLayer encodes a clustered layer under the config's format.
+func EncodeLayer(cl *quant.Clustered, cfg Config) sparse.Encoding {
+	return sparse.Encode(cfg.Encoding, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+}

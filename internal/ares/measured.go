@@ -1,0 +1,143 @@
+package ares
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/quant"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+// MeasuredEvaluator runs *real inference* on a trained model with
+// fault-injected weights — the ground-truth accuracy path used for the
+// small models (Figure 5 reproduction) and for calibrating the surrogate.
+type MeasuredEvaluator struct {
+	Model *dnn.Model
+	Test  *train.Dataset
+	// BaselineErr is the fault-free classification error of the clustered
+	// model (measured at construction).
+	BaselineErr float64
+
+	// layerIdx maps weight-layer ordinal to model layer index.
+	layerIdx []int
+	// clustered holds the pruned+clustered form of each weight layer.
+	clustered []*quant.Clustered
+}
+
+// NewMeasuredEvaluator prunes and clusters the trained model's weights
+// (per its Meta), applies the clustered weights to the model (the
+// iso-accuracy baseline includes quantization), and measures the
+// fault-free baseline error.
+func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*MeasuredEvaluator, error) {
+	if !m.Materialized() {
+		return nil, fmt.Errorf("ares: model %q not materialized", m.Name)
+	}
+	ev := &MeasuredEvaluator{Model: m, Test: test}
+	for i, l := range m.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		quant.Prune(l.Weights, m.Meta.TargetSparsity, seed+uint64(i))
+		cl := quant.Cluster(l.Weights, m.Meta.ClusterIndexBits, quant.ClusterOptions{Seed: seed + uint64(i)})
+		cl.Apply(l.Weights) // model now runs on clustered weights
+		ev.layerIdx = append(ev.layerIdx, i)
+		ev.clustered = append(ev.clustered, cl)
+	}
+	ev.BaselineErr = train.Error(m, test)
+	return ev, nil
+}
+
+// Clustered returns the pruned+clustered layers (weight-layer order).
+func (ev *MeasuredEvaluator) Clustered() []*quant.Clustered { return ev.clustered }
+
+// MeasuredResult is the outcome of a measured fault-injection campaign.
+type MeasuredResult struct {
+	// MeanDeltaErr is the mean classification-error increase over trials
+	// (negative deltas clamp to 0: sampling noise).
+	MeanDeltaErr float64
+	// MaxDeltaErr is the worst trial.
+	MaxDeltaErr float64
+	// Stats aggregates the per-trial corruption statistics.
+	Stats []TrialStats
+}
+
+// EvalConfig runs `trials` independent fault maps under cfg and measures
+// the true classification error of each corrupted model.
+func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) MeasuredResult {
+	if trials < 1 {
+		panic("ares: trials < 1")
+	}
+	// Pre-encode each layer once; trials clone.
+	encs := make([]sparse.Encoding, len(ev.clustered))
+	for i, cl := range ev.clustered {
+		encs[i] = EncodeLayer(cl, cfg)
+	}
+	snap := ev.Model.CloneWeights()
+	defer ev.Model.RestoreWeights(snap)
+
+	src := stats.NewSource(seed)
+	var res MeasuredResult
+	for t := 0; t < trials; t++ {
+		tsrc := src.Fork(uint64(t) + 1)
+		var agg TrialStats
+		for i, cl := range ev.clustered {
+			st, decoded := RunTrialDecoded(encs[i], cl.Indices, cl.Centroids, cfg, tsrc.Uint64())
+			agg.Faults += st.Faults
+			agg.Corrected += st.Corrected
+			agg.Detected += st.Detected
+			// Weight-count-weighted averages.
+			w := float64(len(cl.Indices))
+			agg.StructFrac += st.StructFrac * w
+			agg.Mismatch += st.Mismatch * w
+			agg.ValueNSR += st.ValueNSR * w
+			// Apply corrupted weights to the live model.
+			layer := ev.Model.Layers[ev.layerIdx[i]]
+			for j, idx := range decoded {
+				layer.Weights.Data[j] = cl.Centroids[idx]
+			}
+		}
+		total := float64(ev.totalWeights())
+		agg.StructFrac /= total
+		agg.Mismatch /= total
+		agg.ValueNSR /= total
+		res.Stats = append(res.Stats, agg)
+
+		delta := train.Error(ev.Model, ev.Test) - ev.BaselineErr
+		if delta < 0 {
+			delta = 0
+		}
+		res.MeanDeltaErr += delta
+		if delta > res.MaxDeltaErr {
+			res.MaxDeltaErr = delta
+		}
+		ev.Model.RestoreWeights(snap)
+	}
+	res.MeanDeltaErr /= float64(trials)
+	return res
+}
+
+func (ev *MeasuredEvaluator) totalWeights() int {
+	n := 0
+	for _, cl := range ev.clustered {
+		n += len(cl.Indices)
+	}
+	return n
+}
+
+// IsolateStream builds a config where only the named stream is stored at
+// the given policy and every other structure is perfect — the Figure 5
+// experiment design ("assuming perfect storage of other structures to
+// isolate the impact of faults").
+func IsolateStream(tech Config, stream string, p StreamPolicy) Config {
+	out := Config{
+		Tech:     tech.Tech,
+		Encoding: tech.Encoding,
+		Default:  StreamPolicy{BPC: 0},
+		Overrides: map[string]StreamPolicy{
+			stream: p,
+		},
+	}
+	return out
+}

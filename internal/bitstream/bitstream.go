@@ -1,0 +1,258 @@
+// Package bitstream provides a packed bit array with arbitrary-width
+// element access. It is the shared storage substrate between the sparse
+// encoders (internal/sparse), the error-protection codecs (internal/ecc),
+// and the eNVM cell model (internal/envm): encoders serialize their data
+// structures into bit arrays, the cell model views the same bits as
+// bits-per-cell-wide symbols, and fault injection mutates them in place.
+package bitstream
+
+import "fmt"
+
+// Array is a fixed-length bit array packed into 64-bit words
+// (little-endian bit order within each word).
+type Array struct {
+	nbits int
+	words []uint64
+}
+
+// New returns a zeroed array of nbits bits.
+func New(nbits int) *Array {
+	if nbits < 0 {
+		panic("bitstream: negative length")
+	}
+	return &Array{nbits: nbits, words: make([]uint64, (nbits+63)/64)}
+}
+
+// Len returns the length in bits.
+func (a *Array) Len() int { return a.nbits }
+
+// Clone returns a deep copy.
+func (a *Array) Clone() *Array {
+	out := &Array{nbits: a.nbits, words: make([]uint64, len(a.words))}
+	copy(out.words, a.words)
+	return out
+}
+
+// Equal reports whether two arrays have identical length and contents.
+func (a *Array) Equal(b *Array) bool {
+	if a.nbits != b.nbits {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bit returns bit i (0 or 1).
+func (a *Array) Bit(i int) uint64 {
+	a.check(i, 1)
+	return (a.words[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// SetBit assigns bit i.
+func (a *Array) SetBit(i int, v uint64) {
+	a.check(i, 1)
+	w := i >> 6
+	sh := uint(i) & 63
+	a.words[w] = (a.words[w] &^ (1 << sh)) | ((v & 1) << sh)
+}
+
+// FlipBit inverts bit i.
+func (a *Array) FlipBit(i int) {
+	a.check(i, 1)
+	a.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+// GetBits reads n bits (n in [0,64]) starting at bit offset off, returning
+// them as the low bits of a uint64. Reads beyond Len are zero-filled,
+// which lets callers view a stream as fixed-width symbols with implicit
+// zero padding in the final partial symbol.
+func (a *Array) GetBits(off, n int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: GetBits width %d", n))
+	}
+	if off < 0 {
+		panic("bitstream: negative offset")
+	}
+	var out uint64
+	for k := 0; k < n; k++ {
+		i := off + k
+		if i >= a.nbits {
+			break // zero-filled tail
+		}
+		out |= ((a.words[i>>6] >> (uint(i) & 63)) & 1) << uint(k)
+	}
+	return out
+}
+
+// SetBits writes the low n bits of v starting at bit offset off. Writes
+// beyond Len are silently dropped (the zero-padding region).
+func (a *Array) SetBits(off, n int, v uint64) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: SetBits width %d", n))
+	}
+	if off < 0 {
+		panic("bitstream: negative offset")
+	}
+	for k := 0; k < n; k++ {
+		i := off + k
+		if i >= a.nbits {
+			break
+		}
+		a.SetBit(i, (v>>uint(k))&1)
+	}
+}
+
+// PopCount returns the number of set bits.
+func (a *Array) PopCount() int {
+	n := 0
+	for i := 0; i < a.nbits; i++ {
+		if a.Bit(i) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DiffBits returns the number of bit positions where a and b differ.
+// Arrays must have equal length.
+func (a *Array) DiffBits(b *Array) int {
+	if a.nbits != b.nbits {
+		panic("bitstream: DiffBits length mismatch")
+	}
+	n := 0
+	for i := range a.words {
+		n += popcount64(a.words[i] ^ b.words[i])
+	}
+	return n
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func (a *Array) check(i, n int) {
+	if i < 0 || i+n > a.nbits {
+		panic(fmt.Sprintf("bitstream: index %d (+%d) out of range [0,%d)", i, n, a.nbits))
+	}
+}
+
+// Stream is a named sequence of fixed-width elements stored in a packed
+// bit array. It is the unit of fault injection: each DNN data structure
+// (weight indices, bitmask, CSR row counters, ECC parity, ...) is one
+// Stream, and each Stream can be assigned its own eNVM bits-per-cell.
+type Stream struct {
+	// Name identifies the structure (e.g. "values", "bitmask",
+	// "rowcount") in experiment output.
+	Name string
+	// ElemBits is the element width in bits (1..32).
+	ElemBits int
+	// N is the number of elements.
+	N int
+	// Bits is the underlying packed storage; its length is N*ElemBits.
+	Bits *Array
+}
+
+// NewStream allocates a zeroed stream.
+func NewStream(name string, elemBits, n int) *Stream {
+	if elemBits < 1 || elemBits > 32 {
+		panic(fmt.Sprintf("bitstream: element width %d out of range [1,32]", elemBits))
+	}
+	if n < 0 {
+		panic("bitstream: negative element count")
+	}
+	return &Stream{Name: name, ElemBits: elemBits, N: n, Bits: New(elemBits * n)}
+}
+
+// FromValues builds a stream from a value slice. Values must fit in
+// elemBits; out-of-range values panic.
+func FromValues(name string, elemBits int, values []uint32) *Stream {
+	s := NewStream(name, elemBits, len(values))
+	for i, v := range values {
+		s.Set(i, uint64(v))
+	}
+	return s
+}
+
+// Get returns element i.
+func (s *Stream) Get(i int) uint64 {
+	if i < 0 || i >= s.N {
+		panic(fmt.Sprintf("bitstream: stream %q element %d out of range [0,%d)", s.Name, i, s.N))
+	}
+	return s.Bits.GetBits(i*s.ElemBits, s.ElemBits)
+}
+
+// Set assigns element i. v must fit in ElemBits.
+func (s *Stream) Set(i int, v uint64) {
+	if i < 0 || i >= s.N {
+		panic(fmt.Sprintf("bitstream: stream %q element %d out of range [0,%d)", s.Name, i, s.N))
+	}
+	if s.ElemBits < 64 && v >= 1<<uint(s.ElemBits) {
+		panic(fmt.Sprintf("bitstream: stream %q value %d exceeds %d bits", s.Name, v, s.ElemBits))
+	}
+	s.Bits.SetBits(i*s.ElemBits, s.ElemBits, v)
+}
+
+// FromValues8 builds a stream from a byte-valued slice (the cluster-index
+// matrix representation). Values must fit in elemBits.
+func FromValues8(name string, elemBits int, values []uint8) *Stream {
+	s := NewStream(name, elemBits, len(values))
+	for i, v := range values {
+		s.Set(i, uint64(v))
+	}
+	return s
+}
+
+// Values8 extracts all elements into a byte slice; elements must fit in
+// 8 bits.
+func (s *Stream) Values8() []uint8 {
+	if s.ElemBits > 8 {
+		panic(fmt.Sprintf("bitstream: Values8 on %d-bit stream %q", s.ElemBits, s.Name))
+	}
+	out := make([]uint8, s.N)
+	for i := range out {
+		out[i] = uint8(s.Get(i))
+	}
+	return out
+}
+
+// Values extracts all elements into a fresh slice.
+func (s *Stream) Values() []uint32 {
+	out := make([]uint32, s.N)
+	for i := range out {
+		out[i] = uint32(s.Get(i))
+	}
+	return out
+}
+
+// SizeBits returns the raw storage size in bits.
+func (s *Stream) SizeBits() int64 { return int64(s.N) * int64(s.ElemBits) }
+
+// Clone returns a deep copy of the stream.
+func (s *Stream) Clone() *Stream {
+	return &Stream{Name: s.Name, ElemBits: s.ElemBits, N: s.N, Bits: s.Bits.Clone()}
+}
+
+// BitsFor returns the minimum number of bits needed to represent values
+// in [0, maxValue]. BitsFor(0) == 1.
+func BitsFor(maxValue int) int {
+	if maxValue < 0 {
+		panic("bitstream: BitsFor negative")
+	}
+	bits := 1
+	for (1 << uint(bits)) <= maxValue {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/envm"
+)
+
+func TestBestPerLayerBeatsUniform(t *testing.T) {
+	// Per-layer freedom can only help: the per-layer optimum needs at
+	// most as many cells as the best uniform-encoding candidate.
+	_, ex := getLeNetExplorer(t)
+	uniform := ex.BestOverall(envm.CTT)
+	perLayer := ex.BestPerLayer(envm.CTT)
+	if !perLayer.Accepted {
+		t.Fatalf("per-layer selection rejected: delta %.5g", perLayer.DeltaErr)
+	}
+	// The Lagrangian search works on a (cells, corruption-score) Pareto
+	// frontier per layer; the score is a heuristic, so allow a small
+	// slack versus the exhaustively searched uniform optimum.
+	if perLayer.TotalCells > uniform.TotalCells*102/100 {
+		t.Errorf("per-layer %d cells > uniform %d (+2%%)", perLayer.TotalCells, uniform.TotalCells)
+	}
+	if len(perLayer.Choices) != 4 {
+		t.Fatalf("choices = %d", len(perLayer.Choices))
+	}
+	if perLayer.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestBestPerLayerRespectsBound(t *testing.T) {
+	_, ex := getLeNetExplorer(t)
+	c := ex.BestPerLayer(envm.CTT)
+	if c.DeltaErr > ex.PM.Model.Meta.ErrorBound {
+		t.Errorf("delta %.5g exceeds bound %.5g", c.DeltaErr, ex.PM.Model.Meta.ErrorBound)
+	}
+}
+
+func TestBestPerLayerSLC(t *testing.T) {
+	_, ex := getLeNetExplorer(t)
+	c := ex.BestPerLayer(envm.SLCRRAM)
+	if !c.Accepted {
+		t.Fatal("SLC per-layer selection rejected")
+	}
+	if c.MaxBPC != 1 {
+		t.Errorf("SLC MaxBPC = %d", c.MaxBPC)
+	}
+}
+
+func TestLayerOptionsParetoSorted(t *testing.T) {
+	_, ex := getLeNetExplorer(t)
+	opts := ex.layerOptions(envm.CTT, 2, 0.5, 0.5, 1.0)
+	if len(opts) == 0 {
+		t.Fatal("no options")
+	}
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Cells < opts[i-1].Cells {
+			t.Fatal("options not sorted by cells")
+		}
+		if opts[i].x >= opts[i-1].x {
+			t.Fatal("frontier not strictly improving in x")
+		}
+	}
+}

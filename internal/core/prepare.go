@@ -1,0 +1,128 @@
+// Package core implements the MaxNVM co-design methodology — the paper's
+// primary contribution. It prepares models (prune + cluster per Table 2),
+// profiles the fault exposure of every stored structure, exhaustively
+// explores the design space of encodings x bits-per-cell x protection per
+// technology under the iso-training-noise acceptance criterion, and emits
+// the minimal-cell configurations (Figure 6), optimal storage summaries
+// (Table 4), write-time estimates (Table 5), and the array
+// characterizations feeding the NVDLA system studies (Figures 8-11).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// PreparedLayer is one weight layer after model optimization, possibly
+// represented by a row subsample for tractable fault probing.
+type PreparedLayer struct {
+	Name string
+	// FullRows/FullCols are the real layer dimensions.
+	FullRows, FullCols int
+	// CL is the pruned + clustered representation; CL.Rows may be a
+	// subsample of FullRows.
+	CL *quant.Clustered
+	// Scale is FullRows / CL.Rows (1 when not subsampled).
+	Scale float64
+}
+
+// FullWeights returns the real layer weight count.
+func (pl PreparedLayer) FullWeights() int64 {
+	return int64(pl.FullRows) * int64(pl.FullCols)
+}
+
+// PreparedModel is a model after the Section 3.1 optimization pipeline.
+type PreparedModel struct {
+	Model  *dnn.Model
+	Layers []PreparedLayer
+	Seed   uint64
+}
+
+// TotalWeights returns the full-scale weight count.
+func (pm *PreparedModel) TotalWeights() int64 {
+	var n int64
+	for _, pl := range pm.Layers {
+		n += pl.FullWeights()
+	}
+	return n
+}
+
+// PrepareOptions tunes Prepare.
+type PrepareOptions struct {
+	// Seed drives weight synthesis, pruning and clustering.
+	Seed uint64
+	// MaxLayerWeights caps the per-layer representation; larger layers
+	// are row-subsampled after clustering. Zero means no subsampling
+	// (full fidelity, used for exact Table 2 sizes).
+	MaxLayerWeights int
+}
+
+// Prepare materializes, prunes, and clusters every weight layer of the
+// model per its Table 2 metadata, streaming layer by layer so that even
+// VGG16 (552 MB of float32 weights) never holds more than one layer's
+// float weights in memory.
+func Prepare(m *dnn.Model, opt PrepareOptions) *PreparedModel {
+	pm := &PreparedModel{Model: m, Seed: opt.Seed}
+	for i, l := range m.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		m.MaterializeLayer(i, opt.Seed)
+		quant.Prune(l.Weights, m.Meta.TargetSparsity, opt.Seed+uint64(i))
+		cl := quant.Cluster(l.Weights, m.Meta.ClusterIndexBits,
+			quant.ClusterOptions{Seed: opt.Seed + uint64(i)})
+		l.Release() // drop the float weights immediately
+
+		pl := PreparedLayer{
+			Name:     l.Name,
+			FullRows: cl.Rows, FullCols: cl.Cols,
+			CL: cl, Scale: 1,
+		}
+		if opt.MaxLayerWeights > 0 && len(cl.Indices) > opt.MaxLayerWeights {
+			pl.CL = subsampleRows(cl, opt.MaxLayerWeights)
+			pl.Scale = float64(pl.FullRows) / float64(pl.CL.Rows)
+		}
+		pm.Layers = append(pm.Layers, pl)
+	}
+	return pm
+}
+
+// subsampleRows keeps an evenly strided subset of rows so the subsample
+// preserves per-row sparsity structure (what the CSR and bitmask cascade
+// behaviour depends on).
+func subsampleRows(cl *quant.Clustered, maxWeights int) *quant.Clustered {
+	rowsWanted := maxWeights / cl.Cols
+	if rowsWanted < 1 {
+		rowsWanted = 1
+	}
+	if rowsWanted >= cl.Rows {
+		return cl
+	}
+	stride := float64(cl.Rows) / float64(rowsWanted)
+	out := &quant.Clustered{
+		Rows: rowsWanted, Cols: cl.Cols, IndexBits: cl.IndexBits,
+		Centroids: cl.Centroids,
+		Indices:   make([]uint8, rowsWanted*cl.Cols),
+	}
+	for r := 0; r < rowsWanted; r++ {
+		srcRow := int(float64(r) * stride)
+		if srcRow >= cl.Rows {
+			srcRow = cl.Rows - 1
+		}
+		copy(out.Indices[r*cl.Cols:(r+1)*cl.Cols],
+			cl.Indices[srcRow*cl.Cols:(srcRow+1)*cl.Cols])
+	}
+	return out
+}
+
+// ApplyToMatrix reconstructs a prepared layer's weights into a matrix
+// (full fidelity layers only).
+func (pl PreparedLayer) ApplyToMatrix() (*tensor.Matrix, error) {
+	if pl.Scale != 1 {
+		return nil, fmt.Errorf("core: layer %s is subsampled; cannot reconstruct full weights", pl.Name)
+	}
+	return pl.CL.Decode(), nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/ares"
+	"repro/internal/sparse"
+)
+
+// PolicyKey identifies a per-stream storage policy in the search space.
+type PolicyKey struct {
+	BPC int
+	ECC bool
+}
+
+// Policy converts the key to an ares policy.
+func (k PolicyKey) Policy() ares.StreamPolicy { return ares.StreamPolicy{BPC: k.BPC, ECC: k.ECC} }
+
+// PolicyChoices enumerates the per-stream search space: 1..maxBPC bits
+// per cell, each with and without ECC. (ECC at SLC is allowed but never
+// useful; the explorer prunes it by cost.)
+func PolicyChoices(maxBPC int) []PolicyKey {
+	var out []PolicyKey
+	for bpc := 1; bpc <= maxBPC; bpc++ {
+		out = append(out, PolicyKey{BPC: bpc}, PolicyKey{BPC: bpc, ECC: true})
+	}
+	return out
+}
+
+// DamageProbe is the measured per-event corruption of one stream under
+// one policy, at the (possibly subsampled) profile scale.
+type DamageProbe struct {
+	DStruct, DNSR, DMismatch float64
+}
+
+// Catastrophic reports whether a single event is a cascade.
+func (d DamageProbe) Catastrophic() bool { return d.DMismatch >= 0.02 }
+
+// StreamProfile is one stored structure's probe table.
+type StreamProfile struct {
+	Name string
+	// SubDataBits is the encoded size of the subsampled representation;
+	// FullDataBits extrapolates to the real layer.
+	SubDataBits  int64
+	FullDataBits int64
+	Probes       map[PolicyKey]DamageProbe
+}
+
+// LayerProfile is the complete fault-exposure profile of one layer under
+// one encoding kind. Damage probes are technology-independent; fault
+// intensities are attached later per technology.
+type LayerProfile struct {
+	LayerName string
+	Kind      sparse.Kind
+	Scale     float64
+	// SubWeights / SubSignalSS describe the profiled representation.
+	SubWeights  int
+	SubSignalSS float64
+	FullWeights int64
+	Streams     []StreamProfile
+}
+
+// ProfileOptions tunes profiling.
+type ProfileOptions struct {
+	// MaxBPC bounds the probed bits-per-cell (default 3, the densest MLC
+	// in the evaluated set).
+	MaxBPC int
+	// DamageTrials per probe (default 6).
+	DamageTrials int
+	Seed         uint64
+	// RetentionYears ages the device fault model during evaluation
+	// (0 = write-time reliability only).
+	RetentionYears float64
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.MaxBPC == 0 {
+		o.MaxBPC = 3
+	}
+	if o.DamageTrials == 0 {
+		o.DamageTrials = 6
+	}
+	return o
+}
+
+// ProfileLayer encodes the prepared layer under kind and probes every
+// stream x policy combination.
+func ProfileLayer(pl PreparedLayer, kind sparse.Kind, opt ProfileOptions) LayerProfile {
+	opt = opt.withDefaults()
+	cl := pl.CL
+	enc := sparse.Encode(kind, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+	lp := LayerProfile{
+		LayerName:   pl.Name,
+		Kind:        kind,
+		Scale:       pl.Scale,
+		SubWeights:  len(cl.Indices),
+		FullWeights: pl.FullWeights(),
+	}
+	for _, idx := range cl.Indices {
+		w := float64(cl.Centroids[idx])
+		lp.SubSignalSS += w * w
+	}
+	for i, s := range enc.Streams() {
+		sp := StreamProfile{
+			Name:         s.Name,
+			SubDataBits:  s.SizeBits(),
+			FullDataBits: int64(float64(s.SizeBits()) * pl.Scale),
+			Probes:       make(map[PolicyKey]DamageProbe),
+		}
+		for _, key := range PolicyChoices(opt.MaxBPC) {
+			dS, dN, dM := ares.ProbeStreamDamage(enc, i, cl, key.Policy(),
+				opt.DamageTrials, opt.Seed+uint64(i)*131+uint64(key.BPC)*7+b2u(key.ECC))
+			sp.Probes[key] = DamageProbe{DStruct: dS, DNSR: dN, DMismatch: dM}
+		}
+		lp.Streams = append(lp.Streams, sp)
+	}
+	return lp
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StreamNames returns the canonical structure names of an encoding kind,
+// in stream order.
+func StreamNames(kind sparse.Kind) []string {
+	switch kind {
+	case sparse.KindDense:
+		return []string{"values"}
+	case sparse.KindCSR:
+		return []string{"values", "colidx", "rowcount"}
+	case sparse.KindBitMask:
+		return []string{"bitmask", "values"}
+	case sparse.KindBitMaskIdxSync:
+		return []string{"bitmask", "values", "idxsync"}
+	}
+	panic("core: unknown encoding kind")
+}

@@ -1,0 +1,425 @@
+// Package dnn defines the executable DNN model representation used
+// throughout MaxNVM: a small layer DAG supporting convolution, fully
+// connected layers, pooling, residual adds, and ReLU, with forward
+// inference built on the tensor package.
+//
+// The package also hosts the model zoo (LeNet5, VGG12, VGG16, ResNet50)
+// with the per-model metadata from Table 2 of the paper (iso-training-noise
+// error bounds, cluster index bits, target sparsity) and deterministic
+// synthetic weight initialization. Weight *values* are synthetic (we have
+// no ImageNet training infrastructure — see DESIGN.md substitutions), but
+// layer shapes, parameter counts, sparsity structure, and encoding sizes
+// are all derived from the real topologies.
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// LayerKind enumerates the supported layer types.
+type LayerKind int
+
+const (
+	// Conv is a 2-D convolution (weights stored in the NVDLA 2-D mapping:
+	// OutC rows x InC*KH*KW columns).
+	Conv LayerKind = iota
+	// FC is a fully connected layer (weights: Out rows x In columns).
+	FC
+	// MaxPool is non-overlapping k x k max pooling.
+	MaxPool
+	// GlobalAvgPool reduces each channel plane to its mean.
+	GlobalAvgPool
+	// Add sums the outputs of two earlier layers (residual connection).
+	Add
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	case MaxPool:
+		return "maxpool"
+	case GlobalAvgPool:
+		return "gap"
+	case Add:
+		return "add"
+	}
+	return fmt.Sprintf("LayerKind(%d)", int(k))
+}
+
+// Layer is one node of the model DAG.
+//
+// By default a layer consumes the output of the immediately preceding
+// layer; Input overrides that with the index of an arbitrary earlier layer
+// (-1 means "previous"). Add layers combine Input and Input2.
+type Layer struct {
+	Name string
+	Kind LayerKind
+
+	// Conv parameters (Kind == Conv). The InH/InW fields are filled in by
+	// Build from the propagated activation shape.
+	Conv tensor.ConvShape
+
+	// FC parameters (Kind == FC).
+	InFeatures, OutFeatures int
+
+	// PoolK is the pooling window/stride (Kind == MaxPool).
+	PoolK int
+
+	// Input is the index of the producing layer (-1 = previous layer's
+	// output, or the model input for the first layer).
+	Input int
+	// Input2 is the second operand for Add layers.
+	Input2 int
+
+	// ReLUAfter applies a ReLU to this layer's output.
+	ReLUAfter bool
+
+	// Weights holds the layer parameters in 2-D form (nil for
+	// pool/add layers). Mutable: fault injection decodes into this.
+	Weights *tensor.Matrix
+	// Bias holds the per-output-channel bias (may be nil).
+	Bias []float32
+}
+
+// HasWeights reports whether the layer carries parameters.
+func (l *Layer) HasWeights() bool { return l.Kind == Conv || l.Kind == FC }
+
+// WeightRows returns the number of rows of the layer's 2-D weight matrix
+// (OutC for conv in the NVDLA mapping, OutFeatures for FC), derivable from
+// the layer spec even when weights are not materialized.
+func (l *Layer) WeightRows() int {
+	switch l.Kind {
+	case Conv:
+		return l.Conv.OutC
+	case FC:
+		return l.OutFeatures
+	}
+	return 0
+}
+
+// WeightCols returns the number of columns of the layer's 2-D weight
+// matrix (InC*KH*KW for conv, InFeatures for FC).
+func (l *Layer) WeightCols() int {
+	switch l.Kind {
+	case Conv:
+		return l.Conv.InC * l.Conv.KH * l.Conv.KW
+	case FC:
+		return l.InFeatures
+	}
+	return 0
+}
+
+// WeightCount returns the number of weight values (excluding bias). It is
+// computed from the layer spec, so it is valid for unmaterialized layers.
+func (l *Layer) WeightCount() int { return l.WeightRows() * l.WeightCols() }
+
+// BiasCount returns the number of bias values the layer carries when
+// materialized.
+func (l *Layer) BiasCount() int { return l.WeightRows() }
+
+// ParamCount returns weights + biases (spec-derived).
+func (l *Layer) ParamCount() int {
+	if !l.HasWeights() {
+		return 0
+	}
+	return l.WeightCount() + l.BiasCount()
+}
+
+// Materialized reports whether the layer's weight storage is allocated.
+func (l *Layer) Materialized() bool { return !l.HasWeights() || l.Weights != nil }
+
+// Materialize allocates the layer's weight matrix and bias and fills them
+// with He-scaled Gaussian values drawn deterministically from src
+// (sigma = sqrt(2 / fanIn)); biases are zeroed. It is a no-op for layers
+// without weights. Already-materialized layers are re-initialized.
+func (l *Layer) Materialize(src *stats.Source) {
+	if !l.HasWeights() {
+		return
+	}
+	if l.Weights == nil {
+		l.Weights = tensor.NewMatrix(l.WeightRows(), l.WeightCols())
+		l.Bias = make([]float32, l.BiasCount())
+	}
+	sigma := math.Sqrt(2 / float64(l.WeightCols()))
+	for j := range l.Weights.Data {
+		l.Weights.Data[j] = float32(src.Gaussian(0, sigma))
+	}
+	for j := range l.Bias {
+		l.Bias[j] = 0
+	}
+}
+
+// Release frees the layer's weight storage (used when streaming very
+// large models layer by layer).
+func (l *Layer) Release() {
+	l.Weights = nil
+	l.Bias = nil
+}
+
+// Meta carries the per-model reference metadata from Table 2 of the paper.
+type Meta struct {
+	Dataset string
+	// PaperLayers is the layer count the paper reports.
+	PaperLayers int
+	// PaperParams is the parameter count the paper reports.
+	PaperParams int
+	// BaselineError is the baseline classification error (fraction, e.g.
+	// 0.0083 for LeNet5).
+	BaselineError float64
+	// ErrorBound is the iso-training-noise bound: the maximum additional
+	// classification error tolerated before a configuration is rejected.
+	ErrorBound float64
+	// ClusterIndexBits is the number of bits per clustered weight index
+	// (4..7 across the zoo).
+	ClusterIndexBits int
+	// TargetSparsity is the fraction of zero-valued weights after
+	// magnitude pruning.
+	TargetSparsity float64
+}
+
+// Model is an executable DNN.
+type Model struct {
+	Name    string
+	InputC  int
+	InputH  int
+	InputW  int
+	Classes int
+	Layers  []*Layer
+	Meta    Meta
+}
+
+// WeightLayers returns the layers that carry weights, in order.
+func (m *Model) WeightLayers() []*Layer {
+	var out []*Layer
+	for _, l := range m.Layers {
+		if l.HasWeights() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ParamCount returns the total number of parameters.
+func (m *Model) ParamCount() int {
+	total := 0
+	for _, l := range m.Layers {
+		total += l.ParamCount()
+	}
+	return total
+}
+
+// WeightCount returns the total number of weight values (excluding bias).
+func (m *Model) WeightCount() int {
+	total := 0
+	for _, l := range m.Layers {
+		total += l.WeightCount()
+	}
+	return total
+}
+
+// Sparsity returns the overall fraction of zero-valued weights.
+func (m *Model) Sparsity() float64 {
+	zeros, total := 0, 0
+	for _, l := range m.Layers {
+		if l.Weights == nil {
+			continue
+		}
+		total += len(l.Weights.Data)
+		for _, w := range l.Weights.Data {
+			if w == 0 {
+				zeros++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// Validate checks DAG consistency: input references must point backwards,
+// conv/fc shapes must chain, and Add operands must match shapes.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("dnn: model %q has no layers", m.Name)
+	}
+	shapes := make([]actShape, len(m.Layers))
+	for i, l := range m.Layers {
+		in, err := m.inputShape(shapes, i, l.Input)
+		if err != nil {
+			return err
+		}
+		switch l.Kind {
+		case Conv:
+			if l.Conv.InC != in.c || l.Conv.InH != in.h || l.Conv.InW != in.w {
+				return fmt.Errorf("dnn: layer %q conv input %dx%dx%d != upstream %dx%dx%d",
+					l.Name, l.Conv.InC, l.Conv.InH, l.Conv.InW, in.c, in.h, in.w)
+			}
+			if err := l.Conv.Validate(); err != nil {
+				return fmt.Errorf("dnn: layer %q: %w", l.Name, err)
+			}
+			shapes[i] = actShape{c: l.Conv.OutC, h: l.Conv.OutH(), w: l.Conv.OutW()}
+		case FC:
+			if in.flat() != l.InFeatures {
+				return fmt.Errorf("dnn: layer %q fc expects %d features, upstream has %d",
+					l.Name, l.InFeatures, in.flat())
+			}
+			shapes[i] = actShape{c: l.OutFeatures, h: 1, w: 1}
+		case MaxPool:
+			if l.PoolK <= 0 || in.h%l.PoolK != 0 || in.w%l.PoolK != 0 {
+				return fmt.Errorf("dnn: layer %q pool %d does not divide %dx%d", l.Name, l.PoolK, in.h, in.w)
+			}
+			shapes[i] = actShape{c: in.c, h: in.h / l.PoolK, w: in.w / l.PoolK}
+		case GlobalAvgPool:
+			shapes[i] = actShape{c: in.c, h: 1, w: 1}
+		case Add:
+			in2, err := m.inputShape(shapes, i, l.Input2)
+			if err != nil {
+				return err
+			}
+			if in != in2 {
+				return fmt.Errorf("dnn: layer %q add operands %v != %v", l.Name, in, in2)
+			}
+			shapes[i] = in
+		default:
+			return fmt.Errorf("dnn: layer %q has unknown kind %d", l.Name, l.Kind)
+		}
+	}
+	return nil
+}
+
+type actShape struct{ c, h, w int }
+
+func (s actShape) flat() int { return s.c * s.h * s.w }
+
+func (m *Model) inputShape(shapes []actShape, i, ref int) (actShape, error) {
+	if ref == -1 {
+		if i == 0 {
+			return actShape{c: m.InputC, h: m.InputH, w: m.InputW}, nil
+		}
+		return shapes[i-1], nil
+	}
+	if ref < 0 || ref >= i {
+		return actShape{}, fmt.Errorf("dnn: layer %d references invalid input %d", i, ref)
+	}
+	return shapes[ref], nil
+}
+
+// LayerSeed derives the deterministic per-layer weight stream seed from a
+// model seed. It is a pure function, so materializing a single layer in
+// isolation (streaming mode) yields exactly the same weights as
+// materializing the whole model.
+func LayerSeed(seed uint64, layer int) uint64 {
+	return seed*0x9e3779b97f4a7c15 + uint64(layer+1)*0xbf58476d1ce4e5b9
+}
+
+// InitWeights materializes and initializes every weight layer with
+// He-scaled Gaussian values derived deterministically from seed.
+func (m *Model) InitWeights(seed uint64) {
+	for i := range m.Layers {
+		m.MaterializeLayer(i, seed)
+	}
+}
+
+// MaterializeLayer allocates and initializes the weights of layer i using
+// the model seed. Other layers are untouched.
+func (m *Model) MaterializeLayer(i int, seed uint64) {
+	m.Layers[i].Materialize(stats.NewSource(LayerSeed(seed, i)))
+}
+
+// Materialized reports whether all weight layers are allocated.
+func (m *Model) Materialized() bool {
+	for _, l := range m.Layers {
+		if !l.Materialized() {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneWeights returns deep copies of all weight matrices, keyed by layer
+// index, so fault-injection trials can restore pristine weights.
+func (m *Model) CloneWeights() map[int]*tensor.Matrix {
+	out := make(map[int]*tensor.Matrix)
+	for i, l := range m.Layers {
+		if l.Weights != nil {
+			out[i] = l.Weights.Clone()
+		}
+	}
+	return out
+}
+
+// RestoreWeights copies the snapshot back into the model.
+func (m *Model) RestoreWeights(snap map[int]*tensor.Matrix) {
+	for i, w := range snap {
+		copy(m.Layers[i].Weights.Data, w.Data)
+	}
+}
+
+// Forward runs inference on a batch and returns the (N x Classes) logit
+// matrix. The model must be valid (see Validate); Forward panics on shape
+// errors.
+func (m *Model) Forward(in *tensor.Tensor4) *tensor.Matrix {
+	acts := make([]*tensor.Tensor4, len(m.Layers))
+	fetch := func(i, ref int) *tensor.Tensor4 {
+		if ref == -1 {
+			if i == 0 {
+				return in
+			}
+			return acts[i-1]
+		}
+		return acts[ref]
+	}
+	for i, l := range m.Layers {
+		x := fetch(i, l.Input)
+		var out *tensor.Tensor4
+		switch l.Kind {
+		case Conv:
+			out = tensor.Conv2D(x, l.Weights, l.Bias, l.Conv)
+		case FC:
+			flat := tensor.Flatten(x)
+			prod := tensor.Mul(flat, l.Weights.Transpose())
+			if l.Bias != nil {
+				prod.AddBiasRows(l.Bias)
+			}
+			out = &tensor.Tensor4{N: x.N, C: l.OutFeatures, H: 1, W: 1, Data: prod.Data}
+		case MaxPool:
+			out = tensor.MaxPool2D(x, l.PoolK)
+		case GlobalAvgPool:
+			gap := tensor.GlobalAvgPool2D(x)
+			out = &tensor.Tensor4{N: x.N, C: x.C, H: 1, W: 1, Data: gap.Data}
+		case Add:
+			y := fetch(i, l.Input2)
+			out = x.Clone()
+			for j, v := range y.Data {
+				out.Data[j] += v
+			}
+		default:
+			panic(fmt.Sprintf("dnn: unknown layer kind %d", l.Kind))
+		}
+		if l.ReLUAfter {
+			out.ReLU()
+		}
+		acts[i] = out
+	}
+	last := acts[len(acts)-1]
+	return tensor.FromSlice(last.N, last.C*last.H*last.W, last.Data)
+}
+
+// Predict returns the argmax class per batch sample.
+func (m *Model) Predict(in *tensor.Tensor4) []int {
+	logits := m.Forward(in)
+	out := make([]int, logits.Rows)
+	for r := range out {
+		out[r] = logits.ArgmaxRow(r)
+	}
+	return out
+}

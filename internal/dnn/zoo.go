@@ -1,0 +1,288 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// The model zoo reproduces the four networks evaluated in the paper
+// (Table 2). Layer shapes follow the published topologies; the Meta
+// fields carry the paper's reported baseline error, iso-training-noise
+// bound, cluster index width, and pruning sparsity, which drive the
+// optimization pipeline (internal/quant) and the exploration acceptance
+// criterion (internal/ares).
+//
+// Models are built *unmaterialized* (weight matrices nil) so that
+// ImageNet-scale networks (VGG16 is 138M parameters, 552 MB as float32)
+// can be processed layer-by-layer; call Model.InitWeights or
+// Model.MaterializeLayer to allocate.
+
+// ZooNames lists the paper's models in Table 2 order.
+var ZooNames = []string{"LeNet5", "VGG12", "VGG16", "ResNet50"}
+
+// Lookup builds a zoo model by name, reporting whether the name is known.
+func Lookup(name string) (*Model, bool) {
+	switch name {
+	case "LeNet5":
+		return LeNet5(), true
+	case "VGG12":
+		return VGG12(), true
+	case "VGG16":
+		return VGG16(), true
+	case "ResNet50":
+		return ResNet50(), true
+	case "TinyCNN":
+		return TinyCNN(), true
+	}
+	return nil, false
+}
+
+// ByName builds a zoo model by name. It panics on unknown names; use
+// Lookup for a non-panicking variant.
+func ByName(name string) *Model {
+	m, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("dnn: unknown zoo model %q", name))
+	}
+	return m
+}
+
+// builder incrementally assembles a model while tracking the activation
+// shape, so conv layers pick up their input dimensions automatically.
+type builder struct {
+	m       *Model
+	c, h, w int
+}
+
+func newBuilder(name string, inC, inH, inW, classes int) *builder {
+	return &builder{
+		m: &Model{Name: name, InputC: inC, InputH: inH, InputW: inW, Classes: classes},
+		c: inC, h: inH, w: inW,
+	}
+}
+
+// conv appends a conv layer reading the previous output. Returns the index
+// of the appended layer.
+func (b *builder) conv(name string, outC, k, pad, stride int, relu bool) int {
+	return b.convFrom(name, -1, b.c, b.h, b.w, outC, k, pad, stride, relu)
+}
+
+// convFrom appends a conv layer reading from an explicit source layer with
+// an explicit input shape (needed for residual branches).
+func (b *builder) convFrom(name string, from, inC, inH, inW, outC, k, pad, stride int, relu bool) int {
+	cs := tensor.ConvShape{
+		InC: inC, OutC: outC, KH: k, KW: k,
+		Pad: pad, Stride: stride, InH: inH, InW: inW,
+	}
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: name, Kind: Conv, Conv: cs, Input: from, ReLUAfter: relu,
+	})
+	b.c, b.h, b.w = outC, cs.OutH(), cs.OutW()
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) pool(name string, k int) int {
+	b.m.Layers = append(b.m.Layers, &Layer{Name: name, Kind: MaxPool, PoolK: k, Input: -1})
+	b.h /= k
+	b.w /= k
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) gap(name string) int {
+	b.m.Layers = append(b.m.Layers, &Layer{Name: name, Kind: GlobalAvgPool, Input: -1})
+	b.h, b.w = 1, 1
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) fc(name string, out int, relu bool) int {
+	in := b.c * b.h * b.w
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: name, Kind: FC, InFeatures: in, OutFeatures: out, Input: -1, ReLUAfter: relu,
+	})
+	b.c, b.h, b.w = out, 1, 1
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) add(name string, a, c int, relu bool) int {
+	b.m.Layers = append(b.m.Layers, &Layer{
+		Name: name, Kind: Add, Input: a, Input2: c, ReLUAfter: relu,
+	})
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) done(meta Meta) *Model {
+	b.m.Meta = meta
+	if err := b.m.Validate(); err != nil {
+		panic(fmt.Sprintf("dnn: zoo model %q invalid: %v", b.m.Name, err))
+	}
+	return b.m
+}
+
+// LeNet5 is the classic MNIST convnet: 2 conv + 2 FC weight layers
+// (the paper counts 4 layers).
+func LeNet5() *Model {
+	b := newBuilder("LeNet5", 1, 28, 28, 10)
+	b.conv("conv1", 20, 5, 0, 1, true)
+	b.pool("pool1", 2)
+	b.conv("conv2", 50, 5, 0, 1, true)
+	b.pool("pool2", 2)
+	b.fc("fc1", 500, true)
+	b.fc("fc2", 10, false)
+	return b.done(Meta{
+		Dataset:          "MNIST",
+		PaperLayers:      4,
+		PaperParams:      600810,
+		BaselineError:    0.0083,
+		ErrorBound:       0.0005,
+		ClusterIndexBits: 4,
+		TargetSparsity:   0.899,
+	})
+}
+
+// VGG12 is the VGG-style CIFAR-10 topology with 12 weight layers the
+// paper uses to span the gap between MNIST and ImageNet models.
+func VGG12() *Model {
+	b := newBuilder("VGG12", 3, 32, 32, 10)
+	b.conv("conv1_1", 64, 3, 1, 1, true)
+	b.conv("conv1_2", 64, 3, 1, 1, true)
+	b.pool("pool1", 2)
+	b.conv("conv2_1", 128, 3, 1, 1, true)
+	b.conv("conv2_2", 128, 3, 1, 1, true)
+	b.pool("pool2", 2)
+	b.conv("conv3_1", 256, 3, 1, 1, true)
+	b.conv("conv3_2", 256, 3, 1, 1, true)
+	b.conv("conv3_3", 256, 3, 1, 1, true)
+	b.pool("pool3", 2)
+	b.conv("conv4_1", 512, 3, 1, 1, true)
+	b.conv("conv4_2", 512, 3, 1, 1, true)
+	b.conv("conv4_3", 512, 3, 1, 1, true)
+	b.pool("pool4", 2)
+	b.gap("gap")
+	b.fc("fc1", 512, true)
+	b.fc("fc2", 10, false)
+	return b.done(Meta{
+		Dataset:          "CiFar10",
+		PaperLayers:      12,
+		PaperParams:      7899840,
+		BaselineError:    0.1038,
+		ErrorBound:       0.0040,
+		ClusterIndexBits: 4,
+		TargetSparsity:   0.409,
+	})
+}
+
+// VGG16 is the standard 16-weight-layer ImageNet topology
+// (13 conv + 3 FC).
+func VGG16() *Model {
+	b := newBuilder("VGG16", 3, 224, 224, 1000)
+	blocks := []struct {
+		n    int
+		outC int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	for bi, blk := range blocks {
+		for i := 0; i < blk.n; i++ {
+			b.conv(fmt.Sprintf("conv%d_%d", bi+1, i+1), blk.outC, 3, 1, 1, true)
+		}
+		b.pool(fmt.Sprintf("pool%d", bi+1), 2)
+	}
+	b.fc("fc6", 4096, true)
+	b.fc("fc7", 4096, true)
+	b.fc("fc8", 1000, false)
+	return b.done(Meta{
+		Dataset:          "ImageNet",
+		PaperLayers:      16,
+		PaperParams:      138084352,
+		BaselineError:    0.3507,
+		ErrorBound:       0.0057,
+		ClusterIndexBits: 6,
+		TargetSparsity:   0.811,
+	})
+}
+
+// ResNet50 is the standard [3,4,6,3] bottleneck ResNet: 53 conv layers
+// (49 in-path + 4 downsample projections) plus the final FC — the 54
+// layers the paper reports.
+func ResNet50() *Model {
+	b := newBuilder("ResNet50", 3, 224, 224, 1000)
+	b.conv("conv1", 64, 7, 3, 2, true)
+	b.pool("pool1", 2)
+
+	stages := []struct {
+		blocks int
+		midC   int
+		outC   int
+		stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			name := fmt.Sprintf("res%d_%d", si+2, bi+1)
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			b.bottleneck(name, st.midC, st.outC, stride, bi == 0)
+		}
+	}
+	b.gap("gap")
+	b.fc("fc", 1000, false)
+	return b.done(Meta{
+		Dataset:          "ImageNet",
+		PaperLayers:      54,
+		PaperParams:      24585472,
+		BaselineError:    0.3115,
+		ErrorBound:       0.0102,
+		ClusterIndexBits: 7,
+		TargetSparsity:   0.6484,
+	})
+}
+
+// bottleneck appends one ResNet bottleneck block: 1x1 reduce, 3x3, 1x1
+// expand, plus an optional 1x1 downsample projection on the skip path,
+// ending in Add + ReLU.
+func (b *builder) bottleneck(name string, midC, outC, stride int, project bool) {
+	skipIdx := len(b.m.Layers) - 1 // output of previous layer feeds the skip
+	inC, inH, inW := b.c, b.h, b.w
+
+	b.conv(name+"_a", midC, 1, 0, stride, true)
+	b.conv(name+"_b", midC, 3, 1, 1, true)
+	cIdx := b.conv(name+"_c", outC, 1, 0, 1, false)
+
+	var skip int
+	if project {
+		skip = b.convFrom(name+"_proj", skipIdx, inC, inH, inW, outC, 1, 0, stride, false)
+	} else {
+		skip = skipIdx
+	}
+	// convFrom updated b's shape tracker to the projection output, which
+	// matches the main path output; Add preserves it.
+	b.add(name+"_add", cIdx, skip, true)
+}
+
+// TinyCNN is a small, fast-to-train convnet used by the measured fault
+// evaluator and the test suite: same structural family as LeNet5 but
+// sized so SGD training and repeated fault-injection inference run in
+// milliseconds.
+func TinyCNN() *Model {
+	b := newBuilder("TinyCNN", 1, 12, 12, 10)
+	b.conv("conv1", 8, 3, 1, 1, true)
+	b.pool("pool1", 2)
+	b.conv("conv2", 16, 3, 1, 1, true)
+	b.pool("pool2", 2)
+	b.fc("fc1", 64, true)
+	b.fc("fc2", 10, false)
+	return b.done(Meta{
+		Dataset:          "SynthMNIST",
+		PaperLayers:      4,
+		PaperParams:      0, // not a paper model
+		BaselineError:    0.05,
+		ErrorBound:       0.0050,
+		ClusterIndexBits: 4,
+		TargetSparsity:   0.60,
+	})
+}

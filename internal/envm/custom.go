@@ -1,0 +1,90 @@
+package envm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Custom technology definitions (the NVMExplorer-style workflow the
+// authors pursued after this paper): users describe a prospective eNVM in
+// JSON and run the full MaxNVM co-design against it — fault modeling,
+// array characterization, exploration, system study — without touching
+// code.
+//
+// Example definition:
+//
+//	{
+//	  "Name": "MyFeRAM-22nm",
+//	  "NodeNM": 22,
+//	  "CellAreaF2": 20,
+//	  "MaxBitsPerCell": 2,
+//	  "ReadLatencyNs": 3,
+//	  "WriteLatencyNs": 50,
+//	  "WriteParallelism": 1024,
+//	  "ReadEnergyPJPerBit": 0.5,
+//	  "WriteEnergyPJPerCell": 10,
+//	  "LeakagePWPerCell": 0.01,
+//	  "MLC3FaultRate": 5e-5,
+//	  "RetentionFloorBase": 1e-10,
+//	  "EnduranceCycles": 1e9
+//	}
+
+// LoadTech reads one technology definition from JSON and validates it.
+func LoadTech(r io.Reader) (Tech, error) {
+	var t Tech
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Tech{}, fmt.Errorf("envm: parsing tech definition: %w", err)
+	}
+	applyTechDefaults(&t)
+	if err := t.Validate(); err != nil {
+		return Tech{}, err
+	}
+	return t, nil
+}
+
+// LoadTechs reads a JSON array of technology definitions.
+func LoadTechs(r io.Reader) ([]Tech, error) {
+	var ts []Tech
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ts); err != nil {
+		return nil, fmt.Errorf("envm: parsing tech definitions: %w", err)
+	}
+	for i := range ts {
+		applyTechDefaults(&ts[i])
+		if err := ts[i].Validate(); err != nil {
+			return nil, fmt.Errorf("envm: definition %d: %w", i, err)
+		}
+	}
+	return ts, nil
+}
+
+// applyTechDefaults fills optional fields a prospective-technology sketch
+// usually omits.
+func applyTechDefaults(t *Tech) {
+	if t.MLC3FaultRate == 0 {
+		t.MLC3FaultRate = 1e-4
+	}
+	if t.RetentionFloorBase == 0 {
+		t.RetentionFloorBase = 1e-10
+	}
+	if t.Level0SigmaFactor == 0 {
+		t.Level0SigmaFactor = 1
+	}
+	if t.WriteParallelism == 0 {
+		t.WriteParallelism = 1024
+	}
+	if t.EnduranceCycles == 0 {
+		t.EnduranceCycles = 1e6
+	}
+}
+
+// SaveTech writes a technology definition as indented JSON.
+func SaveTech(w io.Writer, t Tech) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,82 @@
+package envm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTechJSON = `{
+  "Name": "MyFeRAM-22nm",
+  "NodeNM": 22,
+  "CellAreaF2": 20,
+  "MaxBitsPerCell": 2,
+  "ReadLatencyNs": 3,
+  "WriteLatencyNs": 50,
+  "WriteParallelism": 1024,
+  "ReadEnergyPJPerBit": 0.5,
+  "WriteEnergyPJPerCell": 10,
+  "LeakagePWPerCell": 0.01,
+  "MLC3FaultRate": 5e-5
+}`
+
+func TestLoadTech(t *testing.T) {
+	tech, err := LoadTech(strings.NewReader(sampleTechJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tech.Name != "MyFeRAM-22nm" || tech.NodeNM != 22 {
+		t.Errorf("parsed %+v", tech)
+	}
+	// Defaults filled in.
+	if tech.RetentionFloorBase != 1e-10 || tech.Level0SigmaFactor != 1 || tech.EnduranceCycles != 1e6 {
+		t.Errorf("defaults missing: %+v", tech)
+	}
+	// Resulting tech is fully usable in the fault model.
+	lm := tech.Levels(2)
+	if lm.NumLevels() != 4 {
+		t.Error("custom tech level model broken")
+	}
+	if lm.WorstAdjacentFault() <= 0 {
+		t.Error("custom tech fault map degenerate")
+	}
+}
+
+func TestLoadTechRejectsUnknownFields(t *testing.T) {
+	bad := `{"Name":"x","NodeNM":22,"CellAreaF2":20,"MaxBitsPerCell":2,"Typo":1}`
+	if _, err := LoadTech(strings.NewReader(bad)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestLoadTechRejectsInvalid(t *testing.T) {
+	bad := `{"Name":"x","NodeNM":-5,"CellAreaF2":20,"MaxBitsPerCell":2}`
+	if _, err := LoadTech(strings.NewReader(bad)); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestLoadTechs(t *testing.T) {
+	arr := "[" + sampleTechJSON + "," + sampleTechJSON + "]"
+	ts, err := LoadTechs(strings.NewReader(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d techs", len(ts))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTech(&buf, CTT); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTech(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != CTT {
+		t.Errorf("round trip differs:\n%+v\n%+v", back, CTT)
+	}
+}

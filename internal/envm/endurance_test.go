@@ -1,0 +1,62 @@
+package envm
+
+import "testing"
+
+func TestEnduranceValuesSet(t *testing.T) {
+	for _, tech := range Evaluated() {
+		if tech.EnduranceCycles <= 0 {
+			t.Errorf("%s: no endurance budget", tech.Name)
+		}
+	}
+	// RRAM endures orders of magnitude more P/E cycles than HCI-programmed
+	// CTT (multi-time-programmable, not update-heavy).
+	if MLCRRAM.EnduranceCycles <= CTT.EnduranceCycles {
+		t.Error("RRAM should out-endure CTT")
+	}
+}
+
+func TestRewriteBudget(t *testing.T) {
+	cells := int64(50e6) // ResNet50-scale at 2 bpc
+	b := CTT.Rewrites(cells, 2, 5)
+	if b.UpdatesTotal != CTT.EnduranceCycles {
+		t.Errorf("lifetime updates %v", b.UpdatesTotal)
+	}
+	if b.UpdatesPerDay <= 0 {
+		t.Error("updates/day missing")
+	}
+	// 1e4 cycles over 5 years ~ 5.5 updates/day: plenty for weekly model
+	// refreshes, the paper's deployment story.
+	if b.UpdatesPerDay < 1 || b.UpdatesPerDay > 100 {
+		t.Errorf("CTT updates/day = %.1f, expected a few", b.UpdatesPerDay)
+	}
+	if b.UpdateTimeSec < 60 {
+		t.Errorf("CTT update time %.1fs, expected minutes", b.UpdateTimeSec)
+	}
+	if b.UpdateEnergyJ <= 0 {
+		t.Error("update energy missing")
+	}
+	// RRAM updates are faster and the budget far larger.
+	r := MLCRRAM.Rewrites(cells, 2, 5)
+	if r.UpdateTimeSec >= b.UpdateTimeSec {
+		t.Error("RRAM rewrite should be much faster than CTT")
+	}
+	if r.UpdatesPerDay <= b.UpdatesPerDay {
+		t.Error("RRAM should allow more frequent updates")
+	}
+}
+
+func TestRewriteEnergyScalesWithLevels(t *testing.T) {
+	cells := int64(1e6)
+	e2 := OptRRAM.Rewrites(cells, 2, 1).UpdateEnergyJ
+	e3 := OptRRAM.Rewrites(cells, 3, 1).UpdateEnergyJ
+	if e3 <= e2 {
+		t.Error("MLC3 programming should cost more energy than MLC2")
+	}
+}
+
+func TestRewriteZeroLifetime(t *testing.T) {
+	b := CTT.Rewrites(1e6, 2, 0)
+	if b.UpdatesPerDay != 0 {
+		t.Error("zero lifetime should not produce a rate")
+	}
+}

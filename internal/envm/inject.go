@@ -1,0 +1,213 @@
+package envm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bitstream"
+	"repro/internal/ecc"
+	"repro/internal/stats"
+)
+
+// StoreConfig says how a bit stream is held in eNVM cells: which
+// technology, how many bits per cell, whether the level mapping is
+// Gray-coded (required for ECC so an adjacent-level fault is a single bit
+// flip), and the sense-amp design point.
+type StoreConfig struct {
+	Tech Tech
+	// BPC is bits per cell (1..Tech.MaxBitsPerCell).
+	BPC int
+	// Gray selects Gray-coded level mapping.
+	Gray bool
+	// SenseAmp is the sensing design point; the zero value means
+	// DefaultSenseAmp.
+	SenseAmp SenseAmp
+	// RetentionYears ages the stored levels with drift before deriving
+	// fault rates (0 = freshly programmed). Lets the explorer require a
+	// configuration to stay within the accuracy bound over a deployment
+	// lifetime, not just at write time.
+	RetentionYears float64
+}
+
+// Validate checks the configuration.
+func (c StoreConfig) Validate() error {
+	if err := c.Tech.Validate(); err != nil {
+		return err
+	}
+	if c.BPC < 1 || c.BPC > c.Tech.MaxBitsPerCell {
+		return fmt.Errorf("envm: %s does not support %d bits per cell (max %d)",
+			c.Tech.Name, c.BPC, c.Tech.MaxBitsPerCell)
+	}
+	return nil
+}
+
+func (c StoreConfig) senseAmp() SenseAmp {
+	if c.SenseAmp == (SenseAmp{}) {
+		return DefaultSenseAmp
+	}
+	return c.SenseAmp
+}
+
+// faultMapCache memoizes derived fault maps: deriving one runs the
+// iterative sigma calibration, and design-space enumeration calls
+// FaultMap millions of times with a handful of distinct configurations.
+// Tech is a comparable value type, so the key covers custom technologies
+// too. Cached maps are shared; callers must treat them as read-only.
+var faultMapCache sync.Map // faultMapKey -> FaultMap
+
+type faultMapKey struct {
+	tech  Tech
+	bpc   int
+	years float64
+	sa    SenseAmp
+}
+
+// FaultMap returns the effective per-level misread probabilities for
+// this configuration: Gaussian level overlap widened by the sense amp,
+// clamped from below by the technology's retention/defect floor on every
+// physically possible transition. The result is memoized per
+// configuration and must be treated as read-only.
+func (c StoreConfig) FaultMap() FaultMap {
+	key := faultMapKey{tech: c.Tech, bpc: c.BPC, years: c.RetentionYears, sa: c.senseAmp()}
+	if v, ok := faultMapCache.Load(key); ok {
+		return v.(FaultMap)
+	}
+	lm := c.senseAmp().Apply(c.Tech.LevelsAfter(c.BPC, c.RetentionYears))
+	fm := lm.FaultMap()
+	floor := c.Tech.RetentionFloor(c.BPC)
+	n := fm.NumLevels()
+	for l := 0; l < n; l++ {
+		if l > 0 && fm.PDown[l] < floor {
+			fm.PDown[l] = floor
+		}
+		if l < n-1 && fm.PUp[l] < floor {
+			fm.PUp[l] = floor
+		}
+	}
+	faultMapCache.Store(key, fm)
+	return fm
+}
+
+// CellsFor returns the number of cells needed to store bits at bpc bits
+// per cell.
+func CellsFor(bits int64, bpc int) int64 {
+	if bpc < 1 {
+		panic("envm: bpc < 1")
+	}
+	return (bits + int64(bpc) - 1) / int64(bpc)
+}
+
+// Cells returns the cell count for a stream under this configuration.
+func (c StoreConfig) Cells(s *bitstream.Stream) int64 {
+	return CellsFor(s.SizeBits(), c.BPC)
+}
+
+// InjectArray samples read faults for every cell of the array and applies
+// them in place, returning the number of faulted cells. Each group of BPC
+// bits is one cell; the stored level is the symbol value (binary mapping)
+// or its Gray-decode (Gray mapping). A fault moves the level to an
+// adjacent one with the configured probability, exactly the paper's
+// fault-injection procedure (Section 4.1).
+//
+// The scan uses geometric skip-sampling (thinning against the worst-case
+// per-level rate), so injection cost scales with the number of *faults*,
+// not the number of cells — essential for ImageNet-scale streams at
+// sub-1e-6 fault rates.
+func InjectArray(a *bitstream.Array, cfg StoreConfig, src *stats.Source) int {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	fm := cfg.FaultMap()
+	nLevels := fm.NumLevels()
+	// Per-level total fault probability and the thinning bound.
+	pTot := make([]float64, nLevels)
+	pMax := 0.0
+	for l := 0; l < nLevels; l++ {
+		pTot[l] = fm.PUp[l] + fm.PDown[l]
+		if pTot[l] > pMax {
+			pMax = pTot[l]
+		}
+	}
+	nCells := int(CellsFor(int64(a.Len()), cfg.BPC))
+	// Below ~1e-18 per cell, the expected fault count over any physically
+	// meaningful array is zero; skip the scan entirely (this is the SLC
+	// regime).
+	if pMax*float64(nCells) < 1e-9 {
+		return 0
+	}
+	faults := 0
+	logq := math.Log1p(-pMax)
+	i := 0
+	for {
+		// Geometric gap to the next candidate cell.
+		u := src.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		if pMax < 1 {
+			fgap := math.Log(u) / logq
+			if fgap >= float64(nCells-i) {
+				break
+			}
+			i += int(fgap)
+		}
+		if i >= nCells {
+			break
+		}
+		sym := a.GetBits(i*cfg.BPC, cfg.BPC)
+		level := sym
+		if cfg.Gray {
+			level = ecc.GrayInv(sym)
+		}
+		if level < uint64(nLevels) && src.Float64()*pMax < pTot[level] {
+			// Fault: choose direction proportionally.
+			newLevel := level
+			if src.Float64()*pTot[level] < fm.PUp[level] {
+				newLevel = level + 1
+			} else {
+				newLevel = level - 1
+			}
+			out := newLevel
+			if cfg.Gray {
+				out = ecc.Gray(newLevel)
+			}
+			a.SetBits(i*cfg.BPC, cfg.BPC, out)
+			faults++
+		}
+		i++
+	}
+	return faults
+}
+
+// InjectStream applies InjectArray to the stream's backing bits.
+func InjectStream(s *bitstream.Stream, cfg StoreConfig, src *stats.Source) int {
+	return InjectArray(s.Bits, cfg, src)
+}
+
+// GrayRecode converts an array written under one level mapping to the
+// other in place: with toGray=true each BPC-bit symbol v becomes Gray(v)
+// (i.e. the bits that will be programmed as level GrayInv(...) = v). It
+// is used when preparing ECC-protected data for MLC storage.
+func GrayRecode(a *bitstream.Array, bpc int, toGray bool) {
+	nCells := int(CellsFor(int64(a.Len()), bpc))
+	for i := 0; i < nCells; i++ {
+		v := a.GetBits(i*bpc, bpc)
+		var out uint64
+		if toGray {
+			out = ecc.Gray(v)
+		} else {
+			out = ecc.GrayInv(v)
+		}
+		a.SetBits(i*bpc, bpc, out)
+	}
+}
+
+// ExpectedFaults returns the expected number of faulted cells when a
+// stream of the given bit length is stored under cfg, assuming levels are
+// uniformly distributed (a good approximation for clustered weight
+// indices and mask data).
+func ExpectedFaults(bits int64, cfg StoreConfig) float64 {
+	fm := cfg.FaultMap()
+	return float64(CellsFor(bits, cfg.BPC)) * fm.TotalRate()
+}

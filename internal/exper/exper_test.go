@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment harness is exercised end to end by the benchmarks; the
+// unit tests here cover the fast paths on the small model so regressions
+// in the rendering/assembly code surface quickly.
+
+func tinyEnv() *Env {
+	e := NewEnv(1)
+	e.MaxLayerWeights = 1 << 14
+	e.DamageTrials = 2
+	return e
+}
+
+func TestFig1Output(t *testing.T) {
+	var buf bytes.Buffer
+	tinyEnv().Fig1(&buf)
+	out := buf.String()
+	for _, want := range []string{"MLC-CTT", "SLC-RRAM", "crossbar", "STT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 missing %q", want)
+		}
+	}
+	if strings.Count(out, "\n") < 9 {
+		t.Error("fig1 too short")
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	tinyEnv().Fig2(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "worst adjacent misread") {
+		t.Error("fig2 missing fault summary")
+	}
+	if !strings.Contains(out, "sense amp") {
+		t.Error("fig2 missing sense amp line")
+	}
+}
+
+func TestTable2LeNetOnly(t *testing.T) {
+	var buf bytes.Buffer
+	tinyEnv().Table2(&buf, []string{"LeNet5"})
+	if !strings.Contains(buf.String(), "LeNet5") {
+		t.Error("table2 missing model row")
+	}
+}
+
+func TestFig6LeNetOnly(t *testing.T) {
+	var buf bytes.Buffer
+	tinyEnv().Fig6(&buf, "LeNet5")
+	out := buf.String()
+	for _, enc := range []string{"CSR", "BitM", "P+C"} {
+		if !strings.Contains(out, enc) {
+			t.Errorf("fig6 missing %q", enc)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Error("fig6 contains rejected-only encodings for LeNet5")
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tinyEnv().Ablations(&buf)
+	out := buf.String()
+	for _, want := range []string{"fixed-point", "sparse-first", "IdxSync", "guard band"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestEnvCachesExplorations(t *testing.T) {
+	e := tinyEnv()
+	a := e.exploration("LeNet5")
+	b := e.exploration("LeNet5")
+	if a != b {
+		t.Error("explorations not cached")
+	}
+}

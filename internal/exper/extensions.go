@@ -1,0 +1,179 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dnn"
+	"repro/internal/envm"
+	"repro/internal/nvdla"
+	"repro/internal/nvsim"
+	"repro/internal/quant"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// ITN measures the iso-training-noise bound empirically (Section 3.1.1):
+// repeated trainings with identical hyperparameters, error spread as the
+// acceptance bound.
+func (e *Env) ITN(w io.Writer, runs int) error {
+	if runs == 0 {
+		runs = 5
+	}
+	trainDS := train.Synthesize(train.SynthConfig{N: 600, Seed: e.Seed + 10, ProtoSeed: 77})
+	testDS := train.Synthesize(train.SynthConfig{N: 300, Seed: e.Seed + 11, ProtoSeed: 77})
+	res, err := train.MeasureITN(dnn.TinyCNN, trainDS, testDS, train.Config{Epochs: 6, Seed: e.Seed}, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Iso-training noise (Section 3.1.1), %d runs of TinyCNN:\n", len(res.Errors))
+	for i, errV := range res.Errors {
+		fmt.Fprintf(w, "  run %d: error %.4f\n", i, errV)
+	}
+	fmt.Fprintf(w, "  mean error %.4f, ITN bound (1 sigma) %.4f\n", res.MeanErr, res.Bound)
+	fmt.Fprintf(w, "  (paper Table 2 bounds: LeNet5 0.0005, VGG12 0.0040, VGG16 0.0057, ResNet50 0.0102)\n")
+	return nil
+}
+
+// PerLayer contrasts the per-layer encoding optimization (Section 3.2.1:
+// "CSR is applied on a per-layer basis where worthwhile") against the
+// best uniform encoding.
+func (e *Env) PerLayer(w io.Writer, models []string) {
+	fmt.Fprintln(w, "Per-layer encoding selection vs best uniform encoding (cells, millions)")
+	fmt.Fprintf(w, "%-10s %-14s %14s %14s %9s %s\n", "model", "tech", "uniform", "per-layer", "saving", "mix")
+	for _, name := range models {
+		x := e.exploration(name)
+		for _, tech := range envm.Evaluated() {
+			uni := x.ex.BestOverall(tech)
+			pl := x.ex.BestPerLayer(tech)
+			saving := 1 - float64(pl.TotalCells)/float64(uni.TotalCells)
+			fmt.Fprintf(w, "%-10s %-14s %14.2f %14.2f %8.1f%% %s\n",
+				name, tech.Name,
+				float64(uni.TotalCells)/1e6, float64(pl.TotalCells)/1e6,
+				100*saving, pl.Summary())
+		}
+	}
+}
+
+// Ablations prints the design-choice studies listed in DESIGN.md
+// section 5 that are not covered by the main figures.
+func (e *Env) Ablations(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: clustering vs fixed-point quantization (Section 3.1.2)")
+	src := stats.NewSource(e.Seed + 7)
+	m := tensor.NewMatrix(256, 256)
+	for i := range m.Data {
+		m.Data[i] = float32(src.Gaussian(0, 0.1))
+	}
+	for _, bits := range []int{4, 5, 6, 7} {
+		cl := quant.Cluster(m, bits, quant.ClusterOptions{Seed: e.Seed})
+		rms := cl.QuantError(m)
+		fp := quant.FixedPointBitsRequired(m, rms)
+		fmt.Fprintf(w, "  %d-bit clustering: RMS %.5f -> fixed point needs %d bits for the same error\n",
+			bits, rms, fp)
+	}
+
+	fmt.Fprintln(w, "\nAblation: sparse-encode-first vs density-first ordering (contribution 1)")
+	x := e.exploration("LeNet5")
+	csr := x.ex.Best(envm.CTT, sparse.KindCSR)
+	dense := x.ex.Best(envm.CTT, sparse.KindDense)
+	fmt.Fprintf(w, "  sparse-first (CSR, then max BPC): %.2fM cells\n", float64(csr.TotalCells)/1e6)
+	fmt.Fprintf(w, "  density-first (dense at max BPC): %.2fM cells\n", float64(dense.TotalCells)/1e6)
+
+	fmt.Fprintln(w, "\nAblation: IdxSync vs ECC for the bitmask (Section 4.3)")
+	v := e.exploration("VGG12")
+	plain := v.ex.Best(envm.OptRRAM, sparse.KindBitMask)
+	syncd := v.ex.Best(envm.OptRRAM, sparse.KindBitMaskIdxSync)
+	fmt.Fprintf(w, "  Opt MLC-RRAM BitMask:        %.2fM cells (%s)\n",
+		float64(plain.TotalCells)/1e6, plain.PolicyString())
+	fmt.Fprintf(w, "  Opt MLC-RRAM BitM+IdxSync:   %.2fM cells (%s)\n",
+		float64(syncd.TotalCells)/1e6, syncd.PolicyString())
+
+	fmt.Fprintln(w, "\nAblation: CTT unprogrammed-level guard band (Section 2.2.1)")
+	withG, without := envm.GuardBandAblation(envm.CTT)
+	fmt.Fprintf(w, "  unprogrammed-level misread, equal device sigma:\n")
+	fmt.Fprintf(w, "    with guard band:    %.3e\n", withG)
+	fmt.Fprintf(w, "    without guard band: %.3e (%.0fx worse)\n", without, without/withG)
+}
+
+// WritePath quantifies the program-and-verify trade-off behind the
+// paper's write-latency discussion (Sections 2.2 and 7.1): smaller
+// program pulses land tighter level distributions — enabling more levels
+// per cell — at the cost of proportionally more pulses per write.
+func (e *Env) WritePath(w io.Writer) {
+	fmt.Fprintln(w, "Program-and-verify trade-off (pulse size vs distribution tightness)")
+	fmt.Fprintf(w, "%12s %12s %14s\n", "pulse mean", "mean pulses", "achieved sigma")
+	pts := envm.WritePrecisionTradeoff(envm.DefaultProgram, 0.5, 3000,
+		[]float64{0.005, 0.01, 0.02, 0.05, 0.1}, e.Seed+3)
+	for _, p := range pts {
+		fmt.Fprintf(w, "%12.3f %12.1f %14.4f\n", p.PulseMean, p.MeanPulses, p.AchievedSigma)
+	}
+
+	fmt.Fprintln(w, "\nEndurance-constrained update budgets (5-year deployment, ResNet50-scale store)")
+	cells := int64(34e6)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s\n", "tech", "updates/day", "update time s", "update J")
+	for _, tech := range envm.Evaluated() {
+		bpc := minI(2, tech.MaxBitsPerCell)
+		b := tech.Rewrites(cells, bpc, 5)
+		fmt.Fprintf(w, "%-14s %14.1f %14.4g %14.4g\n", tech.Name, b.UpdatesPerDay, b.UpdateTimeSec, b.UpdateEnergyJ)
+	}
+
+	fmt.Fprintln(w, "\nRetention drift: worst adjacent misread vs storage age (MLC3)")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "tech", "fresh", "5 years", "10 years")
+	for _, tech := range envm.Evaluated() {
+		if tech.MaxBitsPerCell < 3 {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %12.3e %12.3e %12.3e\n", tech.Name,
+			tech.RetentionFaultRate(3, 0), tech.RetentionFaultRate(3, 5), tech.RetentionFaultRate(3, 10))
+	}
+}
+
+// Retention explores how the optimal storage configuration shifts when
+// the accuracy bound must hold over a deployment lifetime rather than
+// only at write time: drift widens the level distributions, eroding the
+// MLC3 margin.
+func (e *Env) Retention(w io.Writer, model string) {
+	x := e.exploration(model)
+	fmt.Fprintf(w, "Retention-aware exploration: %s optimal storage vs deployment age\n", model)
+	fmt.Fprintf(w, "%-14s %8s %-16s %12s %7s %10s\n", "tech", "years", "encoding", "cells(M)", "maxBPC", "deltaErr")
+	for _, tech := range []envm.Tech{envm.OptRRAM, envm.CTT} {
+		for _, years := range []float64{0, 5, 10} {
+			ex := x.ex.WithRetention(years)
+			c := ex.BestOverall(tech)
+			fmt.Fprintf(w, "%-14s %8.0f %-16s %12.2f %7d %10.2e\n",
+				tech.Name, years, c.Label(), float64(c.TotalCells)/1e6, c.MaxBPC, c.DeltaErr)
+		}
+	}
+}
+
+// RNN quantifies the Section 5.2 remark that workloads with less weight
+// reuse (recurrent networks) benefit even more from on-chip eNVM.
+func (e *Env) RNN(w io.Writer) {
+	fmt.Fprintln(w, "Weight-reuse study: CNN vs LSTM energy benefit of on-chip CTT (NVDLA-64)")
+	cnnWork := nvdla.Workload(dnn.VGG12(), nil)
+	rnnWork := nvdla.LSTM(256, 512, 2, 32).Workload()
+
+	arr := nvsim.Characterize(nvsim.Config{
+		Tech: envm.CTT, BPC: 2, CapacityBits: 8 * mb, Target: nvsim.OptReadEDP,
+	})
+	mem := nvdla.ENVMWeights{R: arr}
+	dram := nvdla.DRAMWeights{D: nvdla.NVDLA64.DRAM}
+
+	report := func(label string, work []nvdla.LayerWork) {
+		d := nvdla.Run(nvdla.NVDLA64, work, dram)
+		o := nvdla.Run(nvdla.NVDLA64, work, mem)
+		fmt.Fprintf(w, "  %-22s reuse %8.2f MAC/bit: DRAM %9.1f uJ -> CTT %9.1f uJ (%.1fx)\n",
+			label, nvdla.ReuseFactor(work), d.EnergyUJ, o.EnergyUJ, d.EnergyUJ/o.EnergyUJ)
+	}
+	report("VGG12 (CNN)", cnnWork)
+	report("2x512 LSTM, 32 steps", rnnWork)
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package nvdla
+
+import "math"
+
+// LayerBound identifies what limits a layer's execution.
+type LayerBound int
+
+const (
+	// ComputeBound: the MAC array is the bottleneck.
+	ComputeBound LayerBound = iota
+	// WeightBound: weight streaming bandwidth is the bottleneck.
+	WeightBound
+	// ActivationBound: intermediate-value traffic is the bottleneck.
+	ActivationBound
+)
+
+// String implements fmt.Stringer.
+func (b LayerBound) String() string {
+	switch b {
+	case ComputeBound:
+		return "compute"
+	case WeightBound:
+		return "weights"
+	case ActivationBound:
+		return "activations"
+	}
+	return "unknown"
+}
+
+// LayerDetail is the per-layer execution breakdown.
+type LayerDetail struct {
+	Name          string
+	Cycles        float64
+	ComputeCycles float64
+	WeightCycles  float64
+	ActCycles     float64
+	Bound         LayerBound
+	// WeightEnergyPJ is the fetch energy attributed to this layer.
+	WeightEnergyPJ float64
+}
+
+// RunDetailed is Run with a per-layer breakdown, for bottleneck analysis
+// (which layers motivate on-chip placement in the hybrid study).
+func RunDetailed(cfg Config, work []LayerWork, mem WeightMemory) (Report, []LayerDetail) {
+	details := make([]LayerDetail, len(work))
+	for i, lw := range work {
+		d := LayerDetail{Name: lw.Name}
+		d.ComputeCycles = float64(lw.MACs) / (float64(cfg.MACs) * lw.Utilization)
+		d.WeightCycles = float64(lw.WeightBits) / 8 / mem.BandwidthGBs() * cfg.FreqGHz
+		d.ActCycles = float64(lw.ActBits) / 8 / cfg.SRAMBandwidthGBs * cfg.FreqGHz
+		d.Cycles = math.Max(d.ComputeCycles, math.Max(d.WeightCycles, d.ActCycles)) +
+			mem.LatencyNs()*cfg.FreqGHz
+		switch {
+		case d.WeightCycles >= d.ComputeCycles && d.WeightCycles >= d.ActCycles:
+			d.Bound = WeightBound
+		case d.ActCycles >= d.ComputeCycles:
+			d.Bound = ActivationBound
+		default:
+			d.Bound = ComputeBound
+		}
+		d.WeightEnergyPJ = float64(lw.WeightBits) * mem.EnergyPJPerBit()
+		details[i] = d
+	}
+	return Run(cfg, work, mem), details
+}
+
+// BoundCounts tallies layers per bottleneck class.
+func BoundCounts(details []LayerDetail) map[LayerBound]int {
+	out := map[LayerBound]int{}
+	for _, d := range details {
+		out[d.Bound]++
+	}
+	return out
+}

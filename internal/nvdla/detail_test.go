@@ -1,0 +1,62 @@
+package nvdla
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+func TestRunDetailedConsistentWithRun(t *testing.T) {
+	work := resnetWork(t, 12)
+	mem := ENVMWeights{cttArray(t, 12, 2)}
+	plain := Run(NVDLA1024, work, mem)
+	rep, details := RunDetailed(NVDLA1024, work, mem)
+	if rep.Cycles != plain.Cycles || rep.EnergyUJ != plain.EnergyUJ {
+		t.Error("RunDetailed diverges from Run")
+	}
+	if len(details) != len(work) {
+		t.Fatalf("details = %d, want %d", len(details), len(work))
+	}
+	var sum float64
+	for _, d := range details {
+		if d.Cycles <= 0 {
+			t.Fatalf("layer %s: non-positive cycles", d.Name)
+		}
+		sum += d.Cycles
+	}
+	if diff := (sum - rep.Cycles) / rep.Cycles; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-layer cycles do not sum to total: %v vs %v", sum, rep.Cycles)
+	}
+}
+
+func TestBoundClassification(t *testing.T) {
+	// VGG16 FC layers streamed from DRAM are weight-bound; the big conv
+	// layers are compute-bound on NVDLA-1024.
+	m := dnn.VGG16()
+	work := Workload(m, nil)
+	_, details := RunDetailed(NVDLA1024, work, DRAMWeights{NVDLA1024.DRAM})
+	byName := map[string]LayerDetail{}
+	for _, d := range details {
+		byName[d.Name] = d
+	}
+	if byName["fc6"].Bound != WeightBound {
+		t.Errorf("fc6 bound = %v, want weights", byName["fc6"].Bound)
+	}
+	if byName["conv3_2"].Bound != ComputeBound {
+		t.Errorf("conv3_2 bound = %v, want compute", byName["conv3_2"].Bound)
+	}
+	counts := BoundCounts(details)
+	if counts[ComputeBound] == 0 || counts[WeightBound] == 0 {
+		t.Errorf("bound mix degenerate: %v", counts)
+	}
+}
+
+func TestLayerBoundString(t *testing.T) {
+	if ComputeBound.String() != "compute" || WeightBound.String() != "weights" ||
+		ActivationBound.String() != "activations" {
+		t.Error("bound strings wrong")
+	}
+	if LayerBound(9).String() != "unknown" {
+		t.Error("unknown bound string")
+	}
+}

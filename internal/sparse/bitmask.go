@@ -1,0 +1,142 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// BlockBytes is the NVDLA sparse-format alignment unit: non-zero weight
+// values are stored in packed, 128-byte aligned groups, and the IdxSync
+// counters (Section 3.3) cover 128-byte aligned blocks of the bitmask.
+const BlockBytes = 128
+
+// BitMask is the NVDLA-compatible sparse encoding ("BitM" in the paper):
+// a 1-bit-per-weight indicator mask plus the packed non-zero cluster
+// indices. Optionally, IdxSync counters record the number of non-zero
+// mask bits per 128-byte mask block so that decode misalignment caused by
+// mask faults cannot propagate past a block boundary.
+type BitMask struct {
+	RowsN, ColsN int
+	ValueBits    int
+	// MaskBlockBits is the IdxSync block size in mask bits
+	// (BlockBytes*8 by default; configurable for tests).
+	MaskBlockBits int
+
+	Mask   *bitstream.Stream // 1 bit per weight, row-major
+	Values *bitstream.Stream // packed non-zero cluster indices
+	// Counters is non-nil when IdxSync is enabled: one popcount per mask
+	// block.
+	Counters *bitstream.Stream
+}
+
+// BitMaskOptions tunes EncodeBitMask.
+type BitMaskOptions struct {
+	// IdxSync enables the per-block counter structure.
+	IdxSync bool
+	// MaskBlockBits overrides the IdxSync block size (default 1024 bits =
+	// 128 bytes of mask).
+	MaskBlockBits int
+}
+
+// EncodeBitMask encodes the cluster-index matrix (row-major, 0 = pruned)
+// into the NVDLA bitmask format.
+func EncodeBitMask(indices []uint8, rows, cols, valueBits int, opt BitMaskOptions) *BitMask {
+	if len(indices) != rows*cols {
+		panic(fmt.Sprintf("sparse: EncodeBitMask %d indices != %d x %d", len(indices), rows, cols))
+	}
+	blockBits := opt.MaskBlockBits
+	if blockBits == 0 {
+		blockBits = BlockBytes * 8
+	}
+	n := rows * cols
+	mask := bitstream.NewStream("bitmask", 1, n)
+	var nz []uint32
+	for i, v := range indices {
+		if v != 0 {
+			mask.Set(i, 1)
+			nz = append(nz, uint32(v))
+		}
+	}
+	e := &BitMask{
+		RowsN: rows, ColsN: cols, ValueBits: valueBits,
+		MaskBlockBits: blockBits,
+		Mask:          mask,
+		Values:        bitstream.FromValues("values", valueBits, nz),
+	}
+	if opt.IdxSync {
+		nBlocks := (n + blockBits - 1) / blockBits
+		counterBits := bitstream.BitsFor(blockBits)
+		counters := bitstream.NewStream("idxsync", counterBits, nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			lo := b * blockBits
+			hi := lo + blockBits
+			if hi > n {
+				hi = n
+			}
+			count := uint64(0)
+			for i := lo; i < hi; i++ {
+				count += mask.Get(i)
+			}
+			counters.Set(b, count)
+		}
+		e.Counters = counters
+	}
+	return e
+}
+
+// Decode reconstructs the cluster-index matrix from the (possibly
+// corrupted) stored structures.
+//
+// Without IdxSync, the decoder walks the mask and consumes one packed
+// value per set bit: a single mask-bit fault misaligns *every* subsequent
+// value (Section 4.2's catastrophic case). With IdxSync, at each mask
+// block boundary the value cursor is reset to the prefix sum of the
+// stored counters, so corruption is confined to the faulty block
+// (Figure 4). Reads past the end of Values yield zero.
+func (e *BitMask) Decode() []uint8 {
+	n := e.RowsN * e.ColsN
+	out := make([]uint8, n)
+	cursor := 0
+	var prefix uint64 // sum of counters over completed blocks
+	for i := 0; i < n; i++ {
+		if e.Counters != nil && i%e.MaskBlockBits == 0 && i > 0 {
+			block := i / e.MaskBlockBits
+			prefix += e.Counters.Get(block - 1)
+			cursor = int(prefix)
+		}
+		if e.Mask.Get(i) == 1 {
+			if cursor < e.Values.N {
+				out[i] = uint8(e.Values.Get(cursor))
+			}
+			cursor++
+		}
+	}
+	return out
+}
+
+// Streams returns the fault-injection targets: mask, values, and (when
+// IdxSync is enabled) the counters.
+func (e *BitMask) Streams() []*bitstream.Stream {
+	s := []*bitstream.Stream{e.Mask, e.Values}
+	if e.Counters != nil {
+		s = append(s, e.Counters)
+	}
+	return s
+}
+
+// SizeBits returns the total encoded size in bits, including the NVDLA
+// 128-byte alignment padding of the packed value array.
+func (e *BitMask) SizeBits() int64 {
+	valueBits := e.Values.SizeBits()
+	align := int64(BlockBytes * 8)
+	valueBits = (valueBits + align - 1) / align * align
+	total := e.Mask.SizeBits() + valueBits
+	if e.Counters != nil {
+		total += e.Counters.SizeBits()
+	}
+	return total
+}
+
+// NNZ returns the number of packed values.
+func (e *BitMask) NNZ() int { return e.Values.N }

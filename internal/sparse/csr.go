@@ -1,0 +1,158 @@
+// Package sparse implements the lossless sparse weight encodings from
+// Section 3.2 of the paper — Compressed Sparse Row (CSR) and the NVDLA
+// BitMask format — together with the proposed IdxSync error-mitigation
+// counters (Section 3.3).
+//
+// Both encoders operate on *cluster index* matrices (the output of
+// internal/quant): a row-major stream of small integers where 0 denotes a
+// pruned (zero) weight. Decoders are written to faithfully reproduce what
+// corrupted storage does to reconstruction — a misread row counter or
+// bitmask bit causes exactly the misalignment cascade the paper analyzes —
+// and never panic on corrupted inputs: they clamp reads and zero-fill, as
+// a hardware decoder consuming a fixed-size stream would.
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// CSR is a compressed-sparse-row encoding of a cluster-index matrix.
+//
+// Three structures are stored (each becomes one fault-injection stream):
+//
+//   - Values: the non-zero cluster indices in row-major order, plus
+//     padding entries (value 0) inserted wherever a column gap exceeds
+//     the relative index range.
+//   - ColIndex: for each entry, the *relative* column gap from the
+//     previous entry in its row (number of skipped zeros), stored in
+//     IndexBits bits.
+//   - RowCount: for each matrix row, the number of entries (including
+//     padding) belonging to that row.
+type CSR struct {
+	RowsN, ColsN int
+	// ValueBits is the width of each value element (cluster index bits).
+	ValueBits int
+	// IndexBits is the width of each relative column index.
+	IndexBits int
+
+	Values   *bitstream.Stream
+	ColIndex *bitstream.Stream
+	RowCount *bitstream.Stream
+}
+
+// EncodeCSR encodes the cluster-index matrix indices (row-major,
+// rows x cols, 0 = pruned weight) using relative column indices of
+// indexBits bits. valueBits is the cluster index width.
+func EncodeCSR(indices []uint8, rows, cols, valueBits, indexBits int) *CSR {
+	if len(indices) != rows*cols {
+		panic(fmt.Sprintf("sparse: EncodeCSR %d indices != %d x %d", len(indices), rows, cols))
+	}
+	if indexBits < 1 || indexBits > 31 {
+		panic("sparse: indexBits out of range")
+	}
+	maxGap := (1 << uint(indexBits)) - 1
+
+	var values, colGaps []uint32
+	rowCounts := make([]uint32, rows)
+	for r := 0; r < rows; r++ {
+		prev := -1
+		count := uint32(0)
+		for c := 0; c < cols; c++ {
+			v := indices[r*cols+c]
+			if v == 0 {
+				continue
+			}
+			gap := c - prev - 1
+			// Insert padding entries until the gap is representable.
+			for gap > maxGap {
+				values = append(values, 0)
+				colGaps = append(colGaps, uint32(maxGap))
+				count++
+				prev += maxGap + 1
+				gap = c - prev - 1
+			}
+			values = append(values, uint32(v))
+			colGaps = append(colGaps, uint32(gap))
+			count++
+			prev = c
+		}
+		rowCounts[r] = count
+	}
+
+	rowBits := bitstream.BitsFor(cols) // a row can hold at most cols entries
+	return &CSR{
+		RowsN: rows, ColsN: cols,
+		ValueBits: valueBits, IndexBits: indexBits,
+		Values:   bitstream.FromValues("values", valueBits, values),
+		ColIndex: bitstream.FromValues("colidx", indexBits, colGaps),
+		RowCount: bitstream.FromValues("rowcount", rowBits, rowCounts),
+	}
+}
+
+// Decode reconstructs the cluster-index matrix from the (possibly
+// corrupted) stored structures. The decoder mirrors hardware behaviour:
+//
+//   - RowCount[r] determines how many entries are consumed for row r; a
+//     corrupted count offsets every subsequent row's reads into Values
+//     and ColIndex (the global misalignment cascade of Section 4.2).
+//   - A corrupted relative ColIndex offsets the remaining entries of its
+//     row only.
+//   - Reads past the end of Values/ColIndex yield zeros; writes past the
+//     row end are dropped.
+func (e *CSR) Decode() []uint8 {
+	out := make([]uint8, e.RowsN*e.ColsN)
+	pos := 0 // global entry cursor into Values/ColIndex
+	total := e.Values.N
+	for r := 0; r < e.RowsN; r++ {
+		n := int(e.RowCount.Get(r))
+		prev := -1
+		for k := 0; k < n; k++ {
+			var v, gap uint32
+			if pos < total {
+				v = uint32(e.Values.Get(pos))
+				gap = uint32(e.ColIndex.Get(pos))
+			}
+			pos++
+			col := prev + int(gap) + 1
+			prev = col
+			if col >= 0 && col < e.ColsN && v != 0 {
+				out[r*e.ColsN+col] = uint8(v)
+			}
+		}
+	}
+	return out
+}
+
+// Streams returns the fault-injection targets in canonical order:
+// values, column indices, row counters.
+func (e *CSR) Streams() []*bitstream.Stream {
+	return []*bitstream.Stream{e.Values, e.ColIndex, e.RowCount}
+}
+
+// SizeBits returns the total encoded size in bits.
+func (e *CSR) SizeBits() int64 {
+	return e.Values.SizeBits() + e.ColIndex.SizeBits() + e.RowCount.SizeBits()
+}
+
+// Entries returns the number of stored entries (non-zeros + padding).
+func (e *CSR) Entries() int { return e.Values.N }
+
+// BestIndexBits returns the relative-index width in [2, bitsFor(cols-1)]
+// minimizing total CSR size for the given matrix (narrow indices shrink
+// ColIndex but add padding entries; wide ones waste index bits).
+func BestIndexBits(indices []uint8, rows, cols, valueBits int) int {
+	bestBits, bestSize := 0, int64(-1)
+	maxBits := bitstream.BitsFor(cols - 1)
+	if maxBits < 2 {
+		maxBits = 2
+	}
+	for bits := 2; bits <= maxBits; bits++ {
+		enc := EncodeCSR(indices, rows, cols, valueBits, bits)
+		if sz := enc.SizeBits(); bestSize < 0 || sz < bestSize {
+			bestBits, bestSize = bits, sz
+		}
+	}
+	return bestBits
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// Encoding is the common interface over weight storage formats: decode
+// back to a cluster-index matrix, expose the constituent bit streams for
+// fault injection, and report storage cost.
+type Encoding interface {
+	// Decode reconstructs the row-major cluster-index matrix, tolerating
+	// corrupted structures (misalignment is reproduced, never panics).
+	Decode() []uint8
+	// Streams returns the stored data structures, each independently
+	// assignable to an eNVM bits-per-cell configuration.
+	Streams() []*bitstream.Stream
+	// SizeBits returns total stored bits including format overheads.
+	SizeBits() int64
+}
+
+// Kind selects a weight storage format.
+type Kind int
+
+const (
+	// KindDense stores every cluster index (the "P+C" baseline row of
+	// Table 2 / Figure 6).
+	KindDense Kind = iota
+	// KindCSR is compressed sparse row with relative column indices.
+	KindCSR
+	// KindBitMask is the NVDLA bitmask format without protection.
+	KindBitMask
+	// KindBitMaskIdxSync is bitmask plus the proposed IdxSync counters.
+	KindBitMaskIdxSync
+)
+
+// String implements fmt.Stringer, matching the paper's labels.
+func (k Kind) String() string {
+	switch k {
+	case KindDense:
+		return "P+C"
+	case KindCSR:
+		return "CSR"
+	case KindBitMask:
+		return "BitMask"
+	case KindBitMaskIdxSync:
+		return "BitM+IdxSync"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists all encodings in Table 2 / Figure 6 order.
+var Kinds = []Kind{KindDense, KindCSR, KindBitMask, KindBitMaskIdxSync}
+
+// Encode builds the requested encoding for a cluster-index matrix.
+// CSR uses the size-optimal relative index width for the matrix.
+func Encode(kind Kind, indices []uint8, rows, cols, valueBits int) Encoding {
+	switch kind {
+	case KindDense:
+		return EncodeDense(indices, rows, cols, valueBits)
+	case KindCSR:
+		ib := BestIndexBits(indices, rows, cols, valueBits)
+		return EncodeCSR(indices, rows, cols, valueBits, ib)
+	case KindBitMask:
+		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{})
+	case KindBitMaskIdxSync:
+		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{IdxSync: true})
+	}
+	panic(fmt.Sprintf("sparse: unknown encoding kind %d", int(kind)))
+}
+
+// Dense is the unencoded pruned+clustered baseline: one cluster index per
+// weight in a single stream.
+type Dense struct {
+	RowsN, ColsN int
+	ValueBits    int
+	Values       *bitstream.Stream
+}
+
+// EncodeDense stores every index (including zeros) at valueBits each.
+func EncodeDense(indices []uint8, rows, cols, valueBits int) *Dense {
+	if len(indices) != rows*cols {
+		panic(fmt.Sprintf("sparse: EncodeDense %d indices != %d x %d", len(indices), rows, cols))
+	}
+	return &Dense{
+		RowsN: rows, ColsN: cols, ValueBits: valueBits,
+		Values: bitstream.FromValues8("values", valueBits, indices),
+	}
+}
+
+// Decode returns the stored indices.
+func (e *Dense) Decode() []uint8 { return e.Values.Values8() }
+
+// Streams returns the single dense stream.
+func (e *Dense) Streams() []*bitstream.Stream { return []*bitstream.Stream{e.Values} }
+
+// SizeBits returns the stored size in bits.
+func (e *Dense) SizeBits() int64 { return e.Values.SizeBits() }
+
+// CloneEncoding deep-copies an encoding so fault injection can mutate the
+// copy while the pristine original is reused across trials.
+func CloneEncoding(e Encoding) Encoding {
+	switch enc := e.(type) {
+	case *Dense:
+		return &Dense{
+			RowsN: enc.RowsN, ColsN: enc.ColsN, ValueBits: enc.ValueBits,
+			Values: enc.Values.Clone(),
+		}
+	case *CSR:
+		return &CSR{
+			RowsN: enc.RowsN, ColsN: enc.ColsN,
+			ValueBits: enc.ValueBits, IndexBits: enc.IndexBits,
+			Values:   enc.Values.Clone(),
+			ColIndex: enc.ColIndex.Clone(),
+			RowCount: enc.RowCount.Clone(),
+		}
+	case *BitMask:
+		out := &BitMask{
+			RowsN: enc.RowsN, ColsN: enc.ColsN, ValueBits: enc.ValueBits,
+			MaskBlockBits: enc.MaskBlockBits,
+			Mask:          enc.Mask.Clone(),
+			Values:        enc.Values.Clone(),
+		}
+		if enc.Counters != nil {
+			out.Counters = enc.Counters.Clone()
+		}
+		return out
+	}
+	panic(fmt.Sprintf("sparse: CloneEncoding: unknown type %T", e))
+}
+
+// Mismatch compares an original and a decoded index matrix and returns
+// the fraction of positions whose index differs. It is the structural
+// corruption statistic consumed by the accuracy surrogate.
+func Mismatch(orig, decoded []uint8) float64 {
+	if len(orig) != len(decoded) {
+		panic("sparse: Mismatch length mismatch")
+	}
+	if len(orig) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range orig {
+		if orig[i] != decoded[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(orig))
+}
+
+var (
+	_ Encoding = (*Dense)(nil)
+	_ Encoding = (*CSR)(nil)
+	_ Encoding = (*BitMask)(nil)
+)

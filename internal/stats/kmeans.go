@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KMeans1DResult holds the outcome of one-dimensional k-means clustering.
+type KMeans1DResult struct {
+	// Centroids are the final cluster centers, sorted ascending.
+	Centroids []float64
+	// Assign maps each input index to the index of its centroid.
+	Assign []int
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+}
+
+// KMeans1D clusters scalar data into k clusters using Lloyd's algorithm
+// with deterministic quantile-based initialization. It is the weight
+// clustering primitive from Section 3.1.2 of the paper: each DNN layer's
+// weights are mapped to 16..128 unique values so every weight can be
+// stored as a 4-7 bit cluster index.
+//
+// The data slice is not modified. k must be >= 1. If the data has fewer
+// than k distinct values, duplicate centroids may result; assignment is
+// still well-defined (lowest matching centroid index wins).
+func KMeans1D(data []float64, k int, maxIter int) KMeans1DResult {
+	if k < 1 {
+		panic("stats: KMeans1D requires k >= 1")
+	}
+	n := len(data)
+	res := KMeans1DResult{
+		Centroids: make([]float64, k),
+		Assign:    make([]int, n),
+	}
+	if n == 0 {
+		return res
+	}
+	// Quantile initialization over the sorted data: deterministic and far
+	// more robust for weight distributions (heavy mass near zero) than
+	// uniform range splitting.
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	for j := 0; j < k; j++ {
+		q := (float64(j) + 0.5) / float64(k)
+		idx := int(q * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		res.Centroids[j] = sorted[idx]
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+
+	counts := make([]int, k)
+	sums := make([]float64, k)
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		sort.Float64s(res.Centroids)
+		changed := assignNearestSorted(data, res.Centroids, res.Assign)
+		for j := range counts {
+			counts[j] = 0
+			sums[j] = 0
+		}
+		for i, a := range res.Assign {
+			counts[a]++
+			sums[a] += data[i]
+		}
+		for j := range res.Centroids {
+			if counts[j] > 0 {
+				res.Centroids[j] = sums[j] / float64(counts[j])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sort.Float64s(res.Centroids)
+	assignNearestSorted(data, res.Centroids, res.Assign)
+	for i, a := range res.Assign {
+		d := data[i] - res.Centroids[a]
+		res.Inertia += d * d
+	}
+	return res
+}
+
+// assignNearestSorted assigns each datum to its nearest centroid (centroids
+// must be sorted ascending) and reports whether any assignment changed.
+func assignNearestSorted(data, centroids []float64, assign []int) bool {
+	changed := false
+	k := len(centroids)
+	for i, x := range data {
+		// Binary search for the insertion point, then compare neighbors.
+		j := sort.SearchFloat64s(centroids, x)
+		best := j
+		if best >= k {
+			best = k - 1
+		}
+		if j > 0 {
+			if best >= k || math.Abs(x-centroids[j-1]) <= math.Abs(x-centroids[best]) {
+				best = j - 1
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// NearestIndex returns the index of the centroid (sorted ascending)
+// nearest to x.
+func NearestIndex(centroids []float64, x float64) int {
+	k := len(centroids)
+	if k == 0 {
+		panic("stats: NearestIndex on empty centroids")
+	}
+	j := sort.SearchFloat64s(centroids, x)
+	if j >= k {
+		return k - 1
+	}
+	if j > 0 && math.Abs(x-centroids[j-1]) <= math.Abs(x-centroids[j]) {
+		return j - 1
+	}
+	return j
+}

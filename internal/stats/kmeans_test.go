@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansWellSeparated(t *testing.T) {
+	data := []float64{0.1, 0.0, -0.1, 5.1, 5.0, 4.9, 10.0, 10.1, 9.9}
+	res := KMeans1D(data, 3, 100)
+	want := []float64{0, 5, 10}
+	for i, c := range res.Centroids {
+		if math.Abs(c-want[i]) > 0.2 {
+			t.Errorf("centroid %d = %v, want ~%v", i, c, want[i])
+		}
+	}
+	// All members of a group share an assignment.
+	if res.Assign[0] != res.Assign[1] || res.Assign[3] != res.Assign[4] {
+		t.Errorf("assignments wrong: %v", res.Assign)
+	}
+}
+
+func TestKMeansCentroidsSorted(t *testing.T) {
+	src := NewSource(21)
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = src.Gaussian(0, 1)
+	}
+	res := KMeans1D(data, 16, 100)
+	if !sort.Float64sAreSorted(res.Centroids) {
+		t.Errorf("centroids not sorted: %v", res.Centroids)
+	}
+}
+
+func TestKMeansAssignmentIsNearest(t *testing.T) {
+	src := NewSource(22)
+	data := make([]float64, 300)
+	for i := range data {
+		data[i] = src.Float64() * 10
+	}
+	res := KMeans1D(data, 8, 100)
+	for i, x := range data {
+		best := NearestIndex(res.Centroids, x)
+		dAssigned := math.Abs(x - res.Centroids[res.Assign[i]])
+		dBest := math.Abs(x - res.Centroids[best])
+		if dAssigned > dBest+1e-12 {
+			t.Fatalf("datum %d assigned to non-nearest centroid", i)
+		}
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	res := KMeans1D(data, 1, 10)
+	if math.Abs(res.Centroids[0]-2.5) > 1e-9 {
+		t.Errorf("centroid = %v, want 2.5", res.Centroids[0])
+	}
+}
+
+func TestKMeansEmptyData(t *testing.T) {
+	res := KMeans1D(nil, 4, 10)
+	if len(res.Assign) != 0 || len(res.Centroids) != 4 {
+		t.Error("empty data not handled")
+	}
+}
+
+func TestKMeansKLargerThanData(t *testing.T) {
+	data := []float64{1, 2}
+	res := KMeans1D(data, 8, 10)
+	// Every datum must still map to a centroid equal to itself.
+	for i, x := range data {
+		if math.Abs(res.Centroids[res.Assign[i]]-x) > 1e-9 {
+			t.Errorf("datum %v assigned to centroid %v", x, res.Centroids[res.Assign[i]])
+		}
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	src := NewSource(23)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = src.Gaussian(0, 1)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		res := KMeans1D(data, k, 100)
+		if res.Inertia > prev*1.0001 {
+			t.Errorf("inertia increased at k=%d: %v > %v", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestNearestIndexProperty(t *testing.T) {
+	centroids := []float64{-2, 0, 1, 5, 9}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		got := NearestIndex(centroids, x)
+		// Brute force.
+		best, bd := 0, math.Abs(x-centroids[0])
+		for i, c := range centroids {
+			if d := math.Abs(x - c); d < bd {
+				best, bd = i, d
+			}
+		}
+		return math.Abs(x-centroids[got]) <= math.Abs(x-centroids[best])+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans1D([]float64{1}, 0, 10)
+}

@@ -1,0 +1,42 @@
+package tensor
+
+// Col2im scatters a patch-gradient matrix (the layout produced by Im2col:
+// (InC*KH*KW) x (OutH*OutW)) back into an input-shaped gradient image of
+// length InC*InH*InW, accumulating overlapping contributions. It is the
+// adjoint of Im2col and the core of the convolution backward pass.
+func Col2im(patches *Matrix, cs ConvShape, dst []float32) {
+	oh, ow := cs.OutH(), cs.OutW()
+	if patches.Rows != cs.InC*cs.KH*cs.KW || patches.Cols != oh*ow {
+		panic("tensor: Col2im patch shape mismatch")
+	}
+	if len(dst) != cs.InC*cs.InH*cs.InW {
+		panic("tensor: Col2im dst length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c := 0; c < cs.InC; c++ {
+		chanBase := c * cs.InH * cs.InW
+		for kh := 0; kh < cs.KH; kh++ {
+			for kw := 0; kw < cs.KW; kw++ {
+				rowIdx := (c*cs.KH+kh)*cs.KW + kw
+				src := patches.Row(rowIdx)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*cs.Stride + kh - cs.Pad
+					if iy < 0 || iy >= cs.InH {
+						continue
+					}
+					dstRow := chanBase + iy*cs.InW
+					srcRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*cs.Stride + kw - cs.Pad
+						if ix < 0 || ix >= cs.InW {
+							continue
+						}
+						dst[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package tensor
+
+import "fmt"
+
+// Tensor4 is a dense NCHW float32 tensor (batch, channels, height, width).
+type Tensor4 struct {
+	N, C, H, W int
+	Data       []float32
+}
+
+// NewTensor4 allocates a zeroed NCHW tensor.
+func NewTensor4(n, c, h, w int) *Tensor4 {
+	if n < 0 || c < 0 || h < 0 || w < 0 {
+		panic("tensor: negative tensor dimension")
+	}
+	return &Tensor4{N: n, C: c, H: h, W: w, Data: make([]float32, n*c*h*w)}
+}
+
+// At returns element (n, c, h, w).
+func (t *Tensor4) At(n, c, h, w int) float32 {
+	return t.Data[((n*t.C+c)*t.H+h)*t.W+w]
+}
+
+// Set assigns element (n, c, h, w).
+func (t *Tensor4) Set(n, c, h, w int, v float32) {
+	t.Data[((n*t.C+c)*t.H+h)*t.W+w] = v
+}
+
+// Image returns a view of sample n (all channels), length C*H*W.
+func (t *Tensor4) Image(n int) []float32 {
+	sz := t.C * t.H * t.W
+	return t.Data[n*sz : (n+1)*sz]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor4) Clone() *Tensor4 {
+	out := NewTensor4(t.N, t.C, t.H, t.W)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// ConvShape describes a 2-D convolution: C input channels, K output
+// channels, R x S kernel, with symmetric padding and stride.
+type ConvShape struct {
+	InC, OutC   int
+	KH, KW      int
+	Pad, Stride int
+	InH, InW    int
+}
+
+// OutH returns the output height.
+func (c ConvShape) OutH() int { return (c.InH+2*c.Pad-c.KH)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c ConvShape) OutW() int { return (c.InW+2*c.Pad-c.KW)/c.Stride + 1 }
+
+// Validate checks internal consistency.
+func (c ConvShape) Validate() error {
+	if c.InC <= 0 || c.OutC <= 0 || c.KH <= 0 || c.KW <= 0 || c.Stride <= 0 {
+		return fmt.Errorf("tensor: invalid conv shape %+v", c)
+	}
+	if c.OutH() <= 0 || c.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv shape %+v yields non-positive output", c)
+	}
+	return nil
+}
+
+// Im2col lowers the input tensor (single sample n) into a patch matrix of
+// shape (InC*KH*KW) x (OutH*OutW), so that convolution becomes a single
+// matrix multiplication with the (OutC) x (InC*KH*KW) weight matrix. This
+// mirrors how NVDLA's convolution core consumes weights as a 2-D mapping,
+// which is also the layout CSR encoding operates on (Section 3.2.1).
+func Im2col(in *Tensor4, n int, cs ConvShape) *Matrix {
+	oh, ow := cs.OutH(), cs.OutW()
+	out := NewMatrix(cs.InC*cs.KH*cs.KW, oh*ow)
+	img := in.Image(n)
+	for c := 0; c < cs.InC; c++ {
+		chanBase := c * cs.InH * cs.InW
+		for kh := 0; kh < cs.KH; kh++ {
+			for kw := 0; kw < cs.KW; kw++ {
+				rowIdx := (c*cs.KH+kh)*cs.KW + kw
+				dst := out.Row(rowIdx)
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*cs.Stride + kh - cs.Pad
+					if iy < 0 || iy >= cs.InH {
+						continue // leave zeros (padding)
+					}
+					srcRow := chanBase + iy*cs.InW
+					dstRow := oy * ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*cs.Stride + kw - cs.Pad
+						if ix < 0 || ix >= cs.InW {
+							continue
+						}
+						dst[dstRow+ox] = img[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D performs a batched convolution: weights is (OutC) x (InC*KH*KW),
+// bias has OutC entries (may be nil). Returns an (N, OutC, OutH, OutW)
+// tensor.
+func Conv2D(in *Tensor4, weights *Matrix, bias []float32, cs ConvShape) *Tensor4 {
+	if err := cs.Validate(); err != nil {
+		panic(err)
+	}
+	if weights.Rows != cs.OutC || weights.Cols != cs.InC*cs.KH*cs.KW {
+		panic(fmt.Sprintf("tensor: conv weight shape %dx%d incompatible with %+v",
+			weights.Rows, weights.Cols, cs))
+	}
+	if in.C != cs.InC || in.H != cs.InH || in.W != cs.InW {
+		panic("tensor: conv input shape mismatch")
+	}
+	oh, ow := cs.OutH(), cs.OutW()
+	out := NewTensor4(in.N, cs.OutC, oh, ow)
+	prod := NewMatrix(cs.OutC, oh*ow)
+	for n := 0; n < in.N; n++ {
+		patches := Im2col(in, n, cs)
+		MulInto(prod, weights, patches)
+		dst := out.Image(n)
+		copy(dst, prod.Data)
+		if bias != nil {
+			for c := 0; c < cs.OutC; c++ {
+				b := bias[c]
+				plane := dst[c*oh*ow : (c+1)*oh*ow]
+				for i := range plane {
+					plane[i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies non-overlapping k x k max pooling with stride k.
+func MaxPool2D(in *Tensor4, k int) *Tensor4 {
+	oh, ow := in.H/k, in.W/k
+	out := NewTensor4(in.N, in.C, oh, ow)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := in.At(n, c, oy*k, ox*k)
+					for dy := 0; dy < k; dy++ {
+						for dx := 0; dx < k; dx++ {
+							if v := in.At(n, c, oy*k+dy, ox*k+dx); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, c, oy, ox, best)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2D reduces each channel plane to its mean, producing an
+// (N x C) matrix. Used by ResNet-style heads.
+func GlobalAvgPool2D(in *Tensor4) *Matrix {
+	out := NewMatrix(in.N, in.C)
+	plane := in.H * in.W
+	if plane == 0 {
+		return out
+	}
+	inv := 1 / float32(plane)
+	for n := 0; n < in.N; n++ {
+		img := in.Image(n)
+		for c := 0; c < in.C; c++ {
+			var s float32
+			for _, v := range img[c*plane : (c+1)*plane] {
+				s += v
+			}
+			out.Set(n, c, s*inv)
+		}
+	}
+	return out
+}
+
+// Flatten reshapes the tensor into an (N x C*H*W) matrix view (no copy).
+func Flatten(in *Tensor4) *Matrix {
+	return FromSlice(in.N, in.C*in.H*in.W, in.Data)
+}
+
+// ReLU applies max(0, x) elementwise in place.
+func (t *Tensor4) ReLU() {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package tensor implements the minimal dense linear-algebra substrate
+// needed to run real DNN inference and training in pure Go: float32
+// matrices and 4-D tensors, blocked parallel matrix multiplication,
+// im2col-based convolution, pooling, and the activation functions used by
+// the model zoo.
+//
+// The package exists because MaxNVM's fault-tolerance studies require
+// *measured* classification error under injected memory faults, which in
+// turn requires an executable DNN — not just a size model.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Matrix without copying. The slice
+// length must equal rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d x %d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (no copy).
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// MulInto computes dst = a * b. Shapes must agree: a is (M x K), b is
+// (K x N), dst is (M x N). dst must not alias a or b. The multiplication
+// is cache-blocked and parallelized across row bands.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MulInto inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MulInto dst shape mismatch")
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Serial path for small problems: goroutine overhead dominates below
+	// ~64k multiply-accumulates.
+	if m*k*n < 65536 || workers == 1 {
+		mulBand(dst, a, b, 0, m, k, n)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulBand(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulBand computes rows [lo, hi) of dst = a*b using an ikj loop order so
+// the inner loop streams through contiguous rows of b and dst.
+func mulBand(dst, a, b *Matrix, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		dr := dst.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue // pruned weights are common; skip zero rows cheaply
+			}
+			br := b.Data[p*n : (p+1)*n]
+			for j := range dr {
+				dr[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// Mul returns a * b as a new matrix.
+func Mul(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Rows, b.Cols)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// AddBiasRows adds bias[j] to every element of column j.
+func (m *Matrix) AddBiasRows(bias []float32) {
+	if len(bias) != m.Cols {
+		panic("tensor: bias length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*out.Cols+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise in place.
+func (m *Matrix) ReLU() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// Softmax converts each row into a probability distribution in place,
+// using the max-subtraction trick for numerical stability.
+func (m *Matrix) Softmax() {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - maxV)))
+			row[j] = e
+			sum += e
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+}
+
+// ArgmaxRow returns the index of the maximum element of row r.
+func (m *Matrix) ArgmaxRow(r int) int {
+	row := m.Row(r)
+	best, bv := 0, row[0]
+	for j, v := range row[1:] {
+		if v > bv {
+			best, bv = j+1, v
+		}
+	}
+	return best
+}
+
+// Frobenius returns the Frobenius norm of the matrix.
+func (m *Matrix) Frobenius() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

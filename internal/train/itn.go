@@ -1,0 +1,47 @@
+package train
+
+import (
+	"repro/internal/dnn"
+	"repro/internal/stats"
+)
+
+// ITNResult is the outcome of an iso-training-noise measurement
+// (paper Section 3.1.1): the spread of final test error across repeated
+// trainings with identical hyperparameters but different shuffling and
+// initialization randomness.
+type ITNResult struct {
+	// Errors holds the final test error of each run.
+	Errors []float64
+	// MeanErr is the mean final error (the accuracy baseline).
+	MeanErr float64
+	// Bound is the iso-training-noise bound: one sample standard
+	// deviation of the final errors. Model alterations whose error
+	// increase stays below this bound are indistinguishable from
+	// training noise and therefore iso-accurate.
+	Bound float64
+}
+
+// MeasureITN trains `runs` independent instances of the model produced
+// by build, each with identical hyperparameters but a distinct seed, and
+// derives the iso-training-noise bound from the spread of their final
+// test errors.
+func MeasureITN(build func() *dnn.Model, trainDS, testDS *Dataset, cfg Config, runs int) (ITNResult, error) {
+	if runs < 2 {
+		runs = 2
+	}
+	var res ITNResult
+	for r := 0; r < runs; r++ {
+		m := build()
+		m.InitWeights(cfg.Seed + uint64(r)*1009 + 1)
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(r)*31
+		if _, err := Train(m, trainDS, runCfg); err != nil {
+			return ITNResult{}, err
+		}
+		res.Errors = append(res.Errors, Error(m, testDS))
+	}
+	s := stats.Summarize(res.Errors)
+	res.MeanErr = s.Mean
+	res.Bound = s.Std
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+func TestMeasureITN(t *testing.T) {
+	trainDS := Synthesize(SynthConfig{N: 400, Seed: 50, ProtoSeed: 77})
+	testDS := Synthesize(SynthConfig{N: 200, Seed: 51, ProtoSeed: 77})
+	res, err := MeasureITN(dnn.TinyCNN, trainDS, testDS, Config{Epochs: 4, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 4 {
+		t.Fatalf("runs = %d", len(res.Errors))
+	}
+	// All runs must have learned the task.
+	for i, e := range res.Errors {
+		if e > 0.3 {
+			t.Errorf("run %d error %.3f: failed to learn", i, e)
+		}
+	}
+	// The bound is positive (runs differ) but small relative to the mean
+	// error headroom — the property the paper's criterion rests on.
+	if res.Bound <= 0 {
+		t.Error("ITN bound should be positive: independent runs never land identically")
+	}
+	if res.Bound > 0.1 {
+		t.Errorf("ITN bound %.4f implausibly large", res.Bound)
+	}
+	if res.MeanErr <= 0 {
+		t.Error("mean error should be positive on a held-out set")
+	}
+}
+
+func TestMeasureITNMinimumRuns(t *testing.T) {
+	trainDS := Synthesize(SynthConfig{N: 100, Seed: 60, ProtoSeed: 77})
+	testDS := Synthesize(SynthConfig{N: 50, Seed: 61, ProtoSeed: 77})
+	res, err := MeasureITN(dnn.TinyCNN, trainDS, testDS, Config{Epochs: 1, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 2 {
+		t.Errorf("runs clamped to %d, want 2", len(res.Errors))
+	}
+}

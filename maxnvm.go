@@ -1,0 +1,167 @@
+// Package maxnvm is the public API of the MaxNVM reproduction: a
+// principled co-design framework for storing DNN weights in fault-prone
+// multi-level-cell embedded non-volatile memories (RRAM and CTT), after
+// Pentecost et al., "MaxNVM: Maximizing DNN Storage Density and Inference
+// Efficiency with Sparse Encoding and Error Mitigation" (MICRO-52, 2019).
+//
+// The facade wires together the internal subsystems:
+//
+//   - model optimization: magnitude pruning + k-means weight clustering
+//   - sparse encodings: CSR and the NVDLA BitMask format
+//   - error protection: Gray-coded SEC-DED ECC and IdxSync counters
+//   - eNVM device models with Gaussian level distributions and
+//     measured-style inter-level fault maps
+//   - an NVSim-like array characterizer and an NVDLA performance model
+//
+// Typical use:
+//
+//	ex, _ := maxnvm.Explore("ResNet50", maxnvm.Options{Seed: 1})
+//	best := ex.Best(maxnvm.CTT)                  // optimal storage config
+//	sum := ex.Summary(maxnvm.CTT)                // area/latency/energy
+//	rep := ex.System(maxnvm.NVDLA1024, best)     // FPS, energy/inference
+package maxnvm
+
+import (
+	"fmt"
+
+	"repro/internal/ares"
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/envm"
+	"repro/internal/nvdla"
+	"repro/internal/nvsim"
+	"repro/internal/sparse"
+)
+
+// Re-exported domain types. These aliases form the stable public surface
+// over the internal packages.
+type (
+	// Tech is an eNVM technology model.
+	Tech = envm.Tech
+	// StreamPolicy selects bits-per-cell and ECC for one structure.
+	StreamPolicy = ares.StreamPolicy
+	// StorageConfig is a complete encoding + per-structure policy.
+	StorageConfig = ares.Config
+	// Candidate is one evaluated design-space point.
+	Candidate = core.Candidate
+	// StorageSummary is a Table 4 row: candidate + characterized array.
+	StorageSummary = core.StorageSummary
+	// ArrayResult is an NVSim-style characterization.
+	ArrayResult = nvsim.Result
+	// SystemReport is an NVDLA system evaluation.
+	SystemReport = nvdla.Report
+	// AcceleratorConfig is an NVDLA hardware configuration.
+	AcceleratorConfig = nvdla.Config
+	// EncodingKind selects a sparse weight format.
+	EncodingKind = sparse.Kind
+)
+
+// Evaluated technologies (paper Table 4 order) and accelerator configs
+// (paper Table 3).
+var (
+	OptRRAM   = envm.OptRRAM
+	CTT       = envm.CTT
+	MLCRRAM   = envm.MLCRRAM
+	SLCRRAM   = envm.SLCRRAM
+	NVDLA64   = nvdla.NVDLA64
+	NVDLA1024 = nvdla.NVDLA1024
+)
+
+// Encoding kinds.
+const (
+	Dense          = sparse.KindDense
+	CSR            = sparse.KindCSR
+	BitMask        = sparse.KindBitMask
+	BitMaskIdxSync = sparse.KindBitMaskIdxSync
+)
+
+// Technologies returns the four evaluated memory proposals.
+func Technologies() []Tech { return envm.Evaluated() }
+
+// LoadTech parses a custom technology definition from JSON (the
+// NVMExplorer-style prospective-device workflow); see
+// internal/envm/custom.go for the schema and defaults.
+var LoadTech = envm.LoadTech
+
+// Models returns the evaluated DNN names (Table 2).
+func Models() []string { return append([]string(nil), dnn.ZooNames...) }
+
+// Options tunes an exploration.
+type Options struct {
+	// Seed drives synthetic weights, pruning, clustering, and fault
+	// probing. Explorations are deterministic per seed.
+	Seed uint64
+	// MaxLayerWeights caps per-layer representations (subsampling very
+	// large layers for tractable probing). Zero selects a sensible
+	// default: full fidelity below 1M weights per layer.
+	MaxLayerWeights int
+	// DamageTrials per fault probe (default 6).
+	DamageTrials int
+}
+
+// Exploration is a prepared model plus its profiled design space.
+type Exploration struct {
+	model *dnn.Model
+	pm    *core.PreparedModel
+	ex    *core.Explorer
+}
+
+// Explore prepares the named zoo model (prune + cluster per Table 2) and
+// profiles every encoding's fault exposure.
+func Explore(model string, opt Options) (*Exploration, error) {
+	m, ok := dnn.Lookup(model)
+	if !ok {
+		return nil, fmt.Errorf("maxnvm: unknown model %q (have %v)", model, Models())
+	}
+	maxW := opt.MaxLayerWeights
+	if maxW == 0 {
+		maxW = 1 << 20
+	}
+	pm := core.Prepare(m, core.PrepareOptions{Seed: opt.Seed, MaxLayerWeights: maxW})
+	ex := core.NewExplorer(pm, core.ProfileOptions{Seed: opt.Seed + 1, DamageTrials: opt.DamageTrials})
+	return &Exploration{model: m, pm: pm, ex: ex}, nil
+}
+
+// Model returns the underlying model spec.
+func (e *Exploration) Model() *dnn.Model { return e.model }
+
+// Explorer exposes the full design-space API for advanced use.
+func (e *Exploration) Explorer() *core.Explorer { return e.ex }
+
+// Prepared exposes the pruned + clustered layers.
+func (e *Exploration) Prepared() *core.PreparedModel { return e.pm }
+
+// Best returns the minimal-cell accepted configuration on a technology,
+// across all encodings (a Table 4 decision).
+func (e *Exploration) Best(tech Tech) Candidate { return e.ex.BestOverall(tech) }
+
+// BestEncoding returns the minimal-cell accepted configuration for one
+// specific encoding (a Figure 6 bar).
+func (e *Exploration) BestEncoding(tech Tech, kind EncodingKind) Candidate {
+	return e.ex.Best(tech, kind)
+}
+
+// Summary characterizes the best configuration's memory array
+// (read-EDP-optimal, the paper's presentation target).
+func (e *Exploration) Summary(tech Tech) StorageSummary {
+	return e.ex.Summarize(tech, nvsim.OptReadEDP)
+}
+
+// System evaluates the NVDLA accelerator with the candidate's weights
+// held entirely on-chip (Figure 7b / Figure 9).
+func (e *Exploration) System(cfg AcceleratorConfig, c Candidate) SystemReport {
+	sum := e.ex.SummarizeCandidate(c, nvsim.OptReadEDP)
+	work := nvdla.Workload(e.model, e.ex.EncodedLayerBits(c))
+	return nvdla.Run(cfg, work, nvdla.ENVMWeights{R: sum.Array})
+}
+
+// Baseline evaluates the DRAM-backed NVDLA baseline (Figure 7a) with the
+// same encoded weight traffic.
+func (e *Exploration) Baseline(cfg AcceleratorConfig, c Candidate) SystemReport {
+	work := nvdla.Workload(e.model, e.ex.EncodedLayerBits(c))
+	return nvdla.Run(cfg, work, nvdla.DRAMWeights{D: cfg.DRAM})
+}
+
+// AreaBenefit returns the cell-count reduction of a candidate versus the
+// dense SLC baseline (the abstract's headline metric, up to 29x).
+func (e *Exploration) AreaBenefit(c Candidate) float64 { return e.ex.AreaBenefit(c) }

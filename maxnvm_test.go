@@ -1,0 +1,87 @@
+package maxnvm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+var (
+	facadeOnce sync.Once
+	facadeEx   *Exploration
+	facadeErr  error
+)
+
+func getExploration(t *testing.T) *Exploration {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeEx, facadeErr = Explore("LeNet5", Options{Seed: 1, DamageTrials: 4})
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeEx
+}
+
+func TestExploreUnknownModel(t *testing.T) {
+	if _, err := Explore("AlexNet", Options{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestModelsAndTechnologies(t *testing.T) {
+	if len(Models()) != 4 {
+		t.Errorf("Models() = %v", Models())
+	}
+	if len(Technologies()) != 4 {
+		t.Errorf("Technologies() = %d entries", len(Technologies()))
+	}
+}
+
+func TestFacadeBestAndSummary(t *testing.T) {
+	ex := getExploration(t)
+	best := ex.Best(CTT)
+	if !best.Accepted {
+		t.Fatalf("no accepted config: %+v", best)
+	}
+	if best.MaxBPC < 2 {
+		t.Errorf("MaxBPC = %d, expected MLC", best.MaxBPC)
+	}
+	sum := ex.Summary(CTT)
+	if sum.Array.AreaMM2 <= 0 {
+		t.Error("summary missing array characterization")
+	}
+	if ex.AreaBenefit(best) < 2 {
+		t.Errorf("area benefit %.2f too small", ex.AreaBenefit(best))
+	}
+}
+
+func TestFacadeBestEncoding(t *testing.T) {
+	ex := getExploration(t)
+	csr := ex.BestEncoding(CTT, CSR)
+	dense := ex.BestEncoding(CTT, Dense)
+	if csr.TotalCells >= dense.TotalCells {
+		t.Errorf("CSR (%d cells) should beat dense (%d) on a 90%%-sparse model",
+			csr.TotalCells, dense.TotalCells)
+	}
+}
+
+func TestFacadeSystemVsBaseline(t *testing.T) {
+	ex := getExploration(t)
+	best := ex.Best(CTT)
+	onchip := ex.System(NVDLA64, best)
+	baseline := ex.Baseline(NVDLA64, best)
+	if onchip.EnergyUJ >= baseline.EnergyUJ {
+		t.Errorf("on-chip energy %.1f >= DRAM baseline %.1f", onchip.EnergyUJ, baseline.EnergyUJ)
+	}
+	if onchip.AvgPowerMW >= baseline.AvgPowerMW {
+		t.Errorf("on-chip power %.1f >= DRAM baseline %.1f", onchip.AvgPowerMW, baseline.AvgPowerMW)
+	}
+}
+
+func TestEncodingKindConstants(t *testing.T) {
+	if Dense != sparse.KindDense || BitMaskIdxSync != sparse.KindBitMaskIdxSync {
+		t.Error("encoding constants drifted from internal definitions")
+	}
+}
