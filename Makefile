@@ -1,0 +1,42 @@
+# Verify tiers for the MaxNVM reproduction.
+#
+#   make check   - tier 1: build + full test suite (the seed contract)
+#   make race    - tier 2: go vet + race detector on a fast test pass
+#   make fuzz    - short fuzz pass over the sparse decode targets
+#   make bench   - full benchmark harness (regenerates every figure)
+#   make all     - check + race
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all check build test race vet fuzz bench clean
+
+all: check race
+
+check: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race tier runs -short so the exploration-scale benchmarks and the
+# slowest campaigns stay out of the hot CI path; the campaign engine's
+# concurrency tests always run under it.
+race: vet
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/campaign/... ./internal/stats/...
+
+fuzz:
+	$(GO) test -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
+	$(GO) test -fuzz=FuzzBitMaskDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean -testcache

@@ -43,30 +43,43 @@ func env() *exper.Env {
 	return benchEnv
 }
 
+// skipIfShort skips the exploration-scale benchmarks under -short: they
+// run full design-space explorations or model training, which the fast
+// CI tier (go test -short, make race) must not pay for.
+func skipIfShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("exploration-scale benchmark skipped in -short mode")
+	}
+}
+
 var allModels = []string{"LeNet5", "VGG12", "VGG16", "ResNet50"}
 var bigModels = []string{"VGG12", "VGG16", "ResNet50"}
 
 // --- Paper tables and figures -----------------------------------------
 
 func BenchmarkFig1ArrayCharacterization(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig1(io.Discard)
 	}
 }
 
 func BenchmarkFig2LevelDistributions(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig2(io.Discard)
 	}
 }
 
 func BenchmarkTable2ModelSizes(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Table2(io.Discard, allModels)
 	}
 }
 
 func BenchmarkFig5StructureVulnerability(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if err := env().Fig5(io.Discard, 6); err != nil {
 			b.Fatal(err)
@@ -75,6 +88,7 @@ func BenchmarkFig5StructureVulnerability(b *testing.B) {
 }
 
 func BenchmarkFig6MinimalCells(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, m := range allModels {
 			env().Fig6(io.Discard, m)
@@ -83,48 +97,56 @@ func BenchmarkFig6MinimalCells(b *testing.B) {
 }
 
 func BenchmarkFig8AreaEnergy(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig8(io.Discard, bigModels)
 	}
 }
 
 func BenchmarkFig9SystemPerformance(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig9(io.Discard)
 	}
 }
 
 func BenchmarkFig10NonVolatility(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig10(io.Discard)
 	}
 }
 
 func BenchmarkFig11HybridSweep(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Fig11(io.Discard)
 	}
 }
 
 func BenchmarkTable4OptimalStorage(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Table4(io.Discard, bigModels)
 	}
 }
 
 func BenchmarkTable5WriteTime(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Table5(io.Discard, bigModels)
 	}
 }
 
 func BenchmarkHeadlineClaims(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Headlines(io.Discard)
 	}
 }
 
 func BenchmarkITNMeasurement(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		if err := env().ITN(io.Discard, 3); err != nil {
 			b.Fatal(err)
@@ -133,24 +155,28 @@ func BenchmarkITNMeasurement(b *testing.B) {
 }
 
 func BenchmarkPerLayerSelection(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().PerLayer(io.Discard, []string{"LeNet5", "VGG12"})
 	}
 }
 
 func BenchmarkAblationSuite(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Ablations(io.Discard)
 	}
 }
 
 func BenchmarkWritePathStudy(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().WritePath(io.Discard)
 	}
 }
 
 func BenchmarkRNNReuseStudy(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().RNN(io.Discard)
 	}
@@ -162,6 +188,7 @@ func BenchmarkRNNReuseStudy(b *testing.B) {
 // then maximize bits-per-cell" ordering against the reverse (dense at max
 // BPC), reporting cells as the metric.
 func BenchmarkAblationOrdering(b *testing.B) {
+	skipIfShort(b)
 	ex, err := Explore("LeNet5", Options{Seed: 1, DamageTrials: 3})
 	if err != nil {
 		b.Fatal(err)
@@ -178,6 +205,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 // BenchmarkAblationBitmaskProtection contrasts IdxSync against ECC for
 // the bitmask structure on the optimistic RRAM.
 func BenchmarkAblationBitmaskProtection(b *testing.B) {
+	skipIfShort(b)
 	ex, err := Explore("VGG12", Options{Seed: 1, DamageTrials: 3})
 	if err != nil {
 		b.Fatal(err)
@@ -200,11 +228,11 @@ func BenchmarkAblationCSRIndexMode(b *testing.B) {
 	code := ecc.NewBlockCode(ares.ECCDataBits)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rel := sparse.EncodeCSR(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits,
-			sparse.BestIndexBits(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
+		rel := sparse.Must(sparse.EncodeCSR(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits,
+			sparse.Must(sparse.BestIndexBits(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))))
 		relBits := rel.SizeBits() + code.ParityBits(int(rel.ColIndex.SizeBits()+rel.RowCount.SizeBits()))
-		abs := sparse.EncodeCSR(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits,
-			bitstream.BitsFor(cl.Cols-1))
+		abs := sparse.Must(sparse.EncodeCSR(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits,
+			bitstream.BitsFor(cl.Cols-1)))
 		b.ReportMetric(float64(relBits), "bits-relative+ecc")
 		b.ReportMetric(float64(abs.SizeBits()), "bits-absolute")
 	}
@@ -237,7 +265,7 @@ func BenchmarkEncodeCSR(b *testing.B) {
 	cl := benchClustered(256, 1024, 0.8, 4, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sparse.Encode(sparse.KindCSR, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+		sparse.Must(sparse.Encode(sparse.KindCSR, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
 	}
 }
 
@@ -245,13 +273,13 @@ func BenchmarkEncodeBitMask(b *testing.B) {
 	cl := benchClustered(256, 1024, 0.8, 4, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sparse.Encode(sparse.KindBitMaskIdxSync, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+		sparse.Must(sparse.Encode(sparse.KindBitMaskIdxSync, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
 	}
 }
 
 func BenchmarkDecodeBitMask(b *testing.B) {
 	cl := benchClustered(256, 1024, 0.8, 4, 4)
-	enc := sparse.Encode(sparse.KindBitMaskIdxSync, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+	enc := sparse.Must(sparse.Encode(sparse.KindBitMaskIdxSync, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Decode()
@@ -322,6 +350,7 @@ func BenchmarkMeasuredInference(b *testing.B) {
 }
 
 func BenchmarkRetentionStudy(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		env().Retention(io.Discard, "VGG12")
 	}

@@ -1,21 +1,35 @@
 // Command faultsim runs standalone fault-injection campaigns: it trains
-// the small measured model (or loads a zoo model via the surrogate) and
-// reports corruption statistics and classification-error deltas for a
-// chosen storage configuration.
+// the small measured model and drives (config x seed) trials through the
+// resilient campaign engine (internal/campaign), reporting corruption
+// statistics and classification-error deltas for a chosen storage
+// configuration.
+//
+// Campaigns are interruptible and resumable: Ctrl-C flushes completed
+// trials to the checkpoint (if -checkpoint is set) and a later run with
+// -resume replays them instead of re-executing, converging to the exact
+// aggregates an uninterrupted run would have produced.
 //
 // Usage:
 //
 //	faultsim -tech MLC-CTT -encoding csr -bpc 3 -ecc rowcount,colidx -trials 20
+//	faultsim -trials 64 -ci-target 0.005 -checkpoint run.jsonl
+//	faultsim -resume -checkpoint run.jsonl -trials 64 -ci-target 0.005
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/ares"
+	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/envm"
 	"repro/internal/sparse"
@@ -28,7 +42,13 @@ func main() {
 	bpc := flag.Int("bpc", 3, "default bits per cell")
 	eccList := flag.String("ecc", "", "comma-separated streams to ECC-protect")
 	slcList := flag.String("slc", "", "comma-separated streams forced to SLC")
-	trials := flag.Int("trials", 12, "fault maps to sample")
+	trials := flag.Int("trials", 12, "maximum fault maps to sample")
+	minTrials := flag.Int("min-trials", 4, "trials before early stopping may trigger")
+	ciTarget := flag.Float64("ci-target", 0, "stop early once the 95% CI half-width of the error delta is below this (0 = full budget)")
+	workers := flag.Int("workers", 0, "concurrent trial workers (0 = auto)")
+	timeout := flag.Duration("timeout", 0, "per-trial deadline, e.g. 30s (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (completed trials are appended)")
+	resume := flag.Bool("resume", false, "replay completed trials from -checkpoint before running the rest")
 	seed := flag.Uint64("seed", 1, "seed")
 	flag.Parse()
 
@@ -57,15 +77,23 @@ func main() {
 		Default:   ares.StreamPolicy{BPC: *bpc},
 		Overrides: map[string]ares.StreamPolicy{},
 	}
-	for _, s := range splitList(*eccList) {
+	for _, s := range mustStreams(kind, "-ecc", *eccList) {
 		cfg.Overrides[s] = ares.StreamPolicy{BPC: *bpc, ECC: true}
 	}
-	for _, s := range splitList(*slcList) {
+	for _, s := range mustStreams(kind, "-slc", *slcList) {
 		cfg.Overrides[s] = ares.StreamPolicy{BPC: 1}
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if *resume && *checkpoint == "" {
+		log.Fatal("faultsim: -resume requires -checkpoint")
+	}
+
+	// SIGINT / SIGTERM cancel the campaign; completed trials are already
+	// flushed to the checkpoint and the partial aggregates still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Printf("config: %v\n", cfg)
 	fmt.Println("training measured model (TinyCNN on synthetic data)...")
@@ -82,25 +110,87 @@ func main() {
 	}
 	fmt.Printf("baseline error (pruned+clustered): %.4f\n", ev.BaselineErr)
 
-	res := ev.EvalConfig(cfg, *trials, *seed+99)
-	var faults, corrected, detected int
-	var mismatch, nsr float64
-	for _, st := range res.Stats {
-		faults += st.Faults
-		corrected += st.Corrected
-		detected += st.Detected
-		mismatch += st.Mismatch
-		nsr += st.ValueNSR
+	label := cfg.String()
+	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+		delta, st, err := ev.EvalTrial(ctx, cfg, t.Seed)
+		if err != nil {
+			return campaign.Sample{}, err
+		}
+		return campaign.Sample{
+			Value: delta,
+			Extra: map[string]float64{
+				"faults":    float64(st.Faults),
+				"corrected": float64(st.Corrected),
+				"detected":  float64(st.Detected),
+				"mismatch":  st.Mismatch,
+				"nsr":       st.ValueNSR,
+			},
+		}, nil
 	}
-	n := float64(len(res.Stats))
-	fmt.Printf("\nover %d fault maps:\n", *trials)
+	c, err := campaign.New([]string{label}, run, campaign.Options{
+		Seed:           *seed + 99,
+		MaxTrials:      *trials,
+		MinTrials:      *minTrials,
+		CITarget:       *ciTarget,
+		Workers:        *workers,
+		TrialTimeout:   *timeout,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, runErr := c.Run(ctx)
+	if runErr != nil && !res.Interrupted {
+		log.Fatal(runErr)
+	}
+
+	cr := res.Config(label)
+	fmt.Printf("\ncampaign: %d trials executed, %d reused from checkpoint, %d skipped by early stop (%.1fs)\n",
+		res.Executed, res.Reused, res.Skipped, time.Since(start).Seconds())
+	fmt.Printf("over %d fault maps:\n", cr.N)
 	fmt.Printf("  faults/map:        %.1f (ECC corrected %.1f, detected %.1f)\n",
-		float64(faults)/n, float64(corrected)/n, float64(detected)/n)
-	fmt.Printf("  index mismatch:    %.5f of weights\n", mismatch/n)
-	fmt.Printf("  weight NSR:        %.5g\n", nsr/n)
-	fmt.Printf("  error delta:       mean +%.4f, worst +%.4f\n", res.MeanDeltaErr, res.MaxDeltaErr)
+		cr.Extra["faults"], cr.Extra["corrected"], cr.Extra["detected"])
+	fmt.Printf("  index mismatch:    %.5f of weights\n", cr.Extra["mismatch"])
+	fmt.Printf("  weight NSR:        %.5g\n", cr.Extra["nsr"])
+	fmt.Printf("  error delta:       mean +%.4f ±%.4f (95%% CI), worst +%.4f\n", cr.Mean, cr.CIHalf, cr.Max)
+	if cr.EarlyStopped {
+		fmt.Printf("  early stop:        CI target %.4g reached after %d trials\n", *ciTarget, cr.N)
+	}
+	for _, te := range cr.Errors {
+		fmt.Printf("  failed trial:      %v\n", te)
+	}
 	fmt.Printf("  ITN bound:         %.4f -> %s\n", m.Meta.ErrorBound,
-		verdict(res.MeanDeltaErr <= m.Meta.ErrorBound))
+		verdict(cr.Mean <= m.Meta.ErrorBound))
+	if res.Interrupted {
+		if *checkpoint != "" {
+			fmt.Printf("interrupted: partial aggregates above; rerun with -resume -checkpoint %s to finish\n", *checkpoint)
+		} else {
+			fmt.Println("interrupted: partial aggregates above (set -checkpoint to make runs resumable)")
+		}
+		os.Exit(130)
+	}
+}
+
+// mustStreams splits a comma-separated stream list and validates every
+// name against the streams the chosen encoding actually emits, so a typo
+// like "-ecc rowcnt" fails loudly instead of silently protecting nothing.
+func mustStreams(kind sparse.Kind, flagName, list string) []string {
+	names := splitList(list)
+	valid := core.StreamNames(kind)
+	ok := make(map[string]bool, len(valid))
+	for _, v := range valid {
+		ok[v] = true
+	}
+	for _, n := range names {
+		if !ok[n] {
+			fmt.Fprintf(os.Stderr, "faultsim: %s: unknown stream %q for encoding %v (valid: %s)\n",
+				flagName, n, kind, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+	}
+	return names
 }
 
 func splitList(s string) []string {

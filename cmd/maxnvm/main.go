@@ -10,18 +10,29 @@
 //
 // Flags:
 //
-//	-model    restrict per-model experiments (fig6) to one model
-//	-models   comma-separated model set for the multi-model tables
-//	-seed     experiment seed (default 1)
-//	-cap      per-layer weight cap for profiling (default 262144)
-//	-trials   damage probe trials (default 3)
+//	-model      restrict per-model experiments (fig6) to one model
+//	-models     comma-separated model set for the multi-model tables
+//	-seed       experiment seed (default 1)
+//	-cap        per-layer weight cap for profiling (default 262144)
+//	-trials     damage probe trials (default 3)
+//	-max-trials fig5 campaign trial budget per configuration (default 12)
+//	-ci-target  fig5 adaptive early stop CI half-width (0 = full budget)
+//	-timeout    per-trial deadline for the fig5 campaign (0 = none)
+//	-checkpoint fig5 campaign JSONL checkpoint path
+//	-resume     resume the fig5 campaign from -checkpoint
+//
+// SIGINT cancels the run between experiments (and mid-campaign for
+// fig5, flushing completed trials to the checkpoint).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/exper"
 )
@@ -32,6 +43,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	capW := flag.Int("cap", 1<<18, "per-layer weight cap for profiling")
 	trials := flag.Int("trials", 3, "damage probe trials")
+	maxTrials := flag.Int("max-trials", 12, "fig5 campaign trial budget per configuration")
+	minTrials := flag.Int("min-trials", 4, "fig5 campaign trials before early stopping may trigger")
+	ciTarget := flag.Float64("ci-target", 0, "fig5 early stop: 95% CI half-width target on the error delta (0 = full budget)")
+	workers := flag.Int("workers", 0, "fig5 campaign worker pool (0 = auto)")
+	timeout := flag.Duration("timeout", 0, "fig5 per-trial deadline (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "fig5 campaign JSONL checkpoint path")
+	resume := flag.Bool("resume", false, "resume the fig5 campaign from -checkpoint")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -39,6 +57,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "maxnvm: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	env := exper.NewEnv(*seed)
 	env.MaxLayerWeights = *capW
@@ -50,8 +75,22 @@ func main() {
 		fig6Models = []string{*model}
 	}
 
+	campaignOpt := exper.CampaignOptions{
+		MaxTrials:    *maxTrials,
+		MinTrials:    *minTrials,
+		CITarget:     *ciTarget,
+		Workers:      *workers,
+		TrialTimeout: *timeout,
+		Checkpoint:   *checkpoint,
+		Resume:       *resume,
+	}
+
 	var run func(name string)
 	run = func(name string) {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "maxnvm: interrupted")
+			os.Exit(130)
+		}
 		w := os.Stdout
 		switch name {
 		case "fig1":
@@ -61,7 +100,11 @@ func main() {
 		case "table2":
 			env.Table2(w, models)
 		case "fig5":
-			if err := env.Fig5(w, 0); err != nil {
+			if err := env.Fig5Campaign(ctx, w, campaignOpt); err != nil {
+				if ctx.Err() != nil {
+					fmt.Fprintln(os.Stderr, "fig5: interrupted")
+					os.Exit(130)
+				}
 				fmt.Fprintln(os.Stderr, "fig5:", err)
 				os.Exit(1)
 			}

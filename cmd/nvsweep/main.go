@@ -3,19 +3,31 @@
 // organizations and prints either the full sweep, the Pareto frontier,
 // or the single target-optimal point.
 //
+// The sweep runs through the resilient campaign engine
+// (internal/campaign): organizations characterize in parallel, Ctrl-C
+// cancels cleanly (completed points are flushed to the checkpoint when
+// -checkpoint is set), and -resume replays finished points instead of
+// recomputing them.
+//
 // Usage:
 //
 //	nvsweep -tech MLC-CTT -mb 12 -bpc 2 -target edp
 //	nvsweep -tech SLC-RRAM -mb 32 -bpc 1 -pareto
+//	nvsweep -mb 64 -bpc 2 -full -checkpoint sweep.jsonl
+//	nvsweep -mb 64 -bpc 2 -full -resume -checkpoint sweep.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/envm"
 	"repro/internal/nvsim"
 )
@@ -28,6 +40,12 @@ func main() {
 	targetName := flag.String("target", "edp", "optimization target: edp|area|latency|energy|leakage")
 	pareto := flag.Bool("pareto", false, "print the area/latency/energy Pareto frontier")
 	full := flag.Bool("full", false, "print every organization")
+	timeout := flag.Duration("timeout", 0, "per-organization characterization deadline (0 = none)")
+	workers := flag.Int("workers", 0, "concurrent characterization workers (0 = auto)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (completed points are appended)")
+	resume := flag.Bool("resume", false, "replay completed points from -checkpoint before computing the rest")
+	maxTrials := flag.Int("max-trials", 1, "samples per organization (the analytic model is deterministic; >1 only re-verifies)")
+	ciTarget := flag.Float64("ci-target", 0, "early-stop CI half-width target when -max-trials > 1")
 	flag.Parse()
 
 	var tech envm.Tech
@@ -61,12 +79,83 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvsweep: unknown target %q\n", *targetName)
 		os.Exit(2)
 	}
+	if *resume && *checkpoint == "" {
+		log.Fatal("nvsweep: -resume requires -checkpoint")
+	}
 
 	cfg := nvsim.Config{
 		Tech: tech, BPC: *bpc,
 		CapacityBits: int64(*capMB * 8e6),
 		Target:       target,
 	}
+	if err := nvsim.Validate(cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One campaign config per organization point; the characterization is
+	// a pure function of the organization, so the campaign gives the sweep
+	// parallelism, cancellation, and checkpoint/resume for free.
+	orgs := nvsim.Organizations(cfg)
+	labels := make([]string, len(orgs))
+	byLabel := make(map[string]nvsim.Organization, len(orgs))
+	for i, o := range orgs {
+		labels[i] = fmt.Sprintf("b%02d_m%02d_w%03d", o.Banks, o.Mats, o.DataWidth)
+		byLabel[labels[i]] = o
+	}
+	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+		org, ok := byLabel[t.Config]
+		if !ok {
+			return campaign.Sample{}, fmt.Errorf("nvsweep: unknown organization %q", t.Config)
+		}
+		r, feasible := nvsim.CharacterizeOrg(cfg, org)
+		if !feasible {
+			return campaign.Sample{}, fmt.Errorf("nvsweep: organization %q infeasible", t.Config)
+		}
+		return campaign.Sample{
+			Value: nvsim.Score(r, target),
+			Extra: map[string]float64{
+				"rows": float64(r.Rows), "cols": float64(r.Cols),
+				"area": r.AreaMM2, "lat": r.ReadLatencyNs, "pj": r.ReadEnergyPJ,
+				"gbs": r.ReadBandwidthGBs, "leak": r.LeakageMW, "wsec": r.WriteTimeSec,
+			},
+		}, nil
+	}
+	c, err := campaign.New(labels, run, campaign.Options{
+		Seed:           1,
+		MaxTrials:      *maxTrials,
+		CITarget:       *ciTarget,
+		Workers:        *workers,
+		TrialTimeout:   *timeout,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, runErr := c.Run(ctx)
+	if runErr != nil && !res.Interrupted {
+		log.Fatal(runErr)
+	}
+
+	var points []nvsim.Result
+	for _, cr := range res.Configs {
+		if cr.N == 0 {
+			continue
+		}
+		o := byLabel[cr.Config]
+		points = append(points, nvsim.Result{
+			Tech: tech.Name, BPC: *bpc, Capacity: cfg.CapacityBits,
+			Banks: o.Banks, Mats: o.Mats, DataWidth: o.DataWidth,
+			Rows: int(cr.Extra["rows"]), Cols: int(cr.Extra["cols"]),
+			AreaMM2: cr.Extra["area"], ReadLatencyNs: cr.Extra["lat"],
+			ReadEnergyPJ: cr.Extra["pj"], ReadBandwidthGBs: cr.Extra["gbs"],
+			LeakageMW: cr.Extra["leak"], WriteTimeSec: cr.Extra["wsec"],
+		})
+	}
+
 	header := func() {
 		fmt.Printf("%6s %5s %5s %9s %9s %10s %12s %10s %10s\n",
 			"banks", "mats", "width", "rows", "cols", "area mm2", "latency ns", "pJ/access", "GB/s")
@@ -77,23 +166,40 @@ func main() {
 			r.AreaMM2, r.ReadLatencyNs, r.ReadEnergyPJ, r.ReadBandwidthGBs)
 	}
 
-	fmt.Printf("%s, %.1f MB, %d bit/cell\n", tech.Name, *capMB, *bpc)
+	fmt.Printf("%s, %.1f MB, %d bit/cell (%d/%d organizations characterized, %d reused)\n",
+		tech.Name, *capMB, *bpc, len(points), len(orgs), res.Reused)
 	switch {
 	case *full:
 		header()
-		for _, r := range nvsim.Sweep(cfg) {
+		for _, r := range points {
 			row(r)
 		}
 	case *pareto:
 		fmt.Println("Pareto frontier (area x latency x energy):")
 		header()
-		for _, r := range nvsim.Pareto(nvsim.Sweep(cfg)) {
+		for _, r := range nvsim.Pareto(points) {
 			row(r)
 		}
 	default:
-		r := nvsim.Characterize(cfg)
+		if len(points) == 0 {
+			log.Fatal("nvsweep: no organization characterized")
+		}
+		best := points[0]
+		for _, p := range points[1:] {
+			if nvsim.Score(p, target) < nvsim.Score(best, target) {
+				best = p
+			}
+		}
 		header()
-		row(r)
-		fmt.Printf("write time (full array): %.4g s; leakage %.3f mW\n", r.WriteTimeSec, r.LeakageMW)
+		row(best)
+		fmt.Printf("write time (full array): %.4g s; leakage %.3f mW\n", best.WriteTimeSec, best.LeakageMW)
+	}
+	if res.Interrupted {
+		if *checkpoint != "" {
+			fmt.Printf("interrupted: partial sweep above; rerun with -resume -checkpoint %s to finish\n", *checkpoint)
+		} else {
+			fmt.Println("interrupted: partial sweep above (set -checkpoint to make sweeps resumable)")
+		}
+		os.Exit(130)
 	}
 }

@@ -17,7 +17,9 @@
 package ares
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/ecc"
 	"repro/internal/envm"
@@ -87,10 +89,18 @@ func (c Config) Validate() error {
 
 // String renders the configuration compactly, e.g.
 // "CSR@MLC-CTT[values:3,colidx:3+ECC,rowcount:3+ECC]".
+// String renders the config deterministically (overrides in sorted
+// order): it doubles as a cache key and as the campaign config ID, so
+// it must be stable across processes for checkpoint resume to match.
 func (c Config) String() string {
 	s := fmt.Sprintf("%v@%s[default:%s", c.Encoding, c.Tech.Name, c.Default)
-	for name, p := range c.Overrides {
-		s += fmt.Sprintf(",%s:%s", name, p)
+	names := make([]string, 0, len(c.Overrides))
+	for name := range c.Overrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s += fmt.Sprintf(",%s:%s", name, c.Overrides[name])
 	}
 	return s + "]"
 }
@@ -169,7 +179,9 @@ type TrialStats struct {
 
 // RunTrial clones a pristine encoding, injects faults per cfg into every
 // structure, applies ECC correction where configured, decodes, and
-// compares against the original indices.
+// compares against the original indices. It panics on an invalid config
+// or mismatched inputs; campaign-facing callers should use
+// RunTrialChecked instead.
 func RunTrial(enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config, seed uint64) TrialStats {
 	st, _ := RunTrialDecoded(enc, orig, centroids, cfg, seed)
 	return st
@@ -179,13 +191,32 @@ func RunTrial(enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config
 // so callers (the measured evaluator) can run real inference on the
 // corrupted weights.
 func RunTrialDecoded(enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config, seed uint64) (TrialStats, []uint8) {
-	if err := cfg.Validate(); err != nil {
+	st, decoded, err := RunTrialChecked(context.Background(), enc, orig, centroids, cfg, seed)
+	if err != nil {
 		panic(err)
 	}
-	clone := sparse.CloneEncoding(enc)
-	src := stats.NewSource(seed)
+	return st, decoded
+}
+
+// RunTrialChecked is the error-returning, cancellable form of
+// RunTrialDecoded: an invalid configuration or inconsistent inputs are
+// reported as an error instead of a panic, so a campaign engine can fail
+// one trial (or reject one config) without taking down the run, and a
+// cancelled context aborts between streams.
+func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, centroids []float32, cfg Config, seed uint64) (TrialStats, []uint8, error) {
 	var st TrialStats
+	if err := cfg.Validate(); err != nil {
+		return st, nil, err
+	}
+	clone, err := sparse.CloneEncoding(enc)
+	if err != nil {
+		return st, nil, err
+	}
+	src := stats.NewSource(seed)
 	for i, s := range clone.Streams() {
+		if err := ctx.Err(); err != nil {
+			return st, nil, err
+		}
 		p := cfg.PolicyFor(s.Name)
 		if p.BPC == 0 {
 			continue // perfect storage
@@ -205,8 +236,11 @@ func RunTrialDecoded(enc sparse.Encoding, orig []uint8, centroids []float32, cfg
 		}
 	}
 	decoded := clone.Decode()
+	if len(orig) != len(decoded) {
+		return st, nil, fmt.Errorf("ares: %d original indices vs %d decoded", len(orig), len(decoded))
+	}
 	fillCorruption(&st, orig, decoded, centroids)
-	return st, decoded
+	return st, decoded, nil
 }
 
 // fillCorruption computes the corruption statistics between original and
@@ -244,7 +278,9 @@ func fillCorruption(st *TrialStats, orig, decoded []uint8, centroids []float32) 
 	}
 }
 
-// EncodeLayer encodes a clustered layer under the config's format.
-func EncodeLayer(cl *quant.Clustered, cfg Config) sparse.Encoding {
+// EncodeLayer encodes a clustered layer under the config's format. An
+// unknown encoding kind (possible when the kind arrives from a CLI flag)
+// is reported as an error.
+func EncodeLayer(cl *quant.Clustered, cfg Config) (sparse.Encoding, error) {
 	return sparse.Encode(cfg.Encoding, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
 }

@@ -55,7 +55,7 @@ func TestValidateRejectsInfeasibleBPC(t *testing.T) {
 func TestCostAccounting(t *testing.T) {
 	cl := testLayer(64, 64, 0.7, 4, 1)
 	cfg := Config{Tech: envm.CTT, Encoding: sparse.KindCSR, Default: StreamPolicy{BPC: 3, ECC: true}}
-	enc := EncodeLayer(cl, cfg)
+	enc := sparse.Must(EncodeLayer(cl, cfg))
 	costs := Cost(enc, cfg)
 	if len(costs) != 3 {
 		t.Fatalf("CSR should have 3 streams, got %d", len(costs))
@@ -82,7 +82,7 @@ func TestCostAccounting(t *testing.T) {
 func TestRunTrialPerfectStorageNoCorruption(t *testing.T) {
 	cl := testLayer(32, 32, 0.6, 4, 2)
 	cfg := Config{Tech: envm.CTT, Encoding: sparse.KindBitMask, Default: StreamPolicy{BPC: 0}}
-	enc := EncodeLayer(cl, cfg)
+	enc := sparse.Must(EncodeLayer(cl, cfg))
 	st := RunTrial(enc, cl.Indices, cl.Centroids, cfg, 7)
 	if st.Faults != 0 || st.Mismatch != 0 || st.ValueNSR != 0 {
 		t.Errorf("perfect storage corrupted: %+v", st)
@@ -92,7 +92,7 @@ func TestRunTrialPerfectStorageNoCorruption(t *testing.T) {
 func TestRunTrialSLCNoCorruption(t *testing.T) {
 	cl := testLayer(32, 32, 0.6, 4, 3)
 	cfg := Config{Tech: envm.SLCRRAM, Encoding: sparse.KindCSR, Default: StreamPolicy{BPC: 1}}
-	enc := EncodeLayer(cl, cfg)
+	enc := sparse.Must(EncodeLayer(cl, cfg))
 	st := RunTrial(enc, cl.Indices, cl.Centroids, cfg, 7)
 	if st.Mismatch > 0.001 {
 		t.Errorf("SLC trial corrupted %.4f of weights", st.Mismatch)
@@ -106,7 +106,7 @@ func TestBitmaskVulnerabilityOrdering(t *testing.T) {
 	cl := testLayer(128, 256, 0.6, 4, 4)
 	avg := func(kind sparse.Kind, overrides map[string]StreamPolicy) float64 {
 		cfg := Config{Tech: envm.CTT, Encoding: kind, Default: StreamPolicy{BPC: 0}, Overrides: overrides}
-		enc := EncodeLayer(cl, cfg)
+		enc := sparse.Must(EncodeLayer(cl, cfg))
 		var sum float64
 		const n = 10
 		for s := 0; s < n; s++ {
@@ -133,7 +133,7 @@ func TestECCEliminatesValueFaults(t *testing.T) {
 			Tech: envm.CTT, Encoding: sparse.KindDense,
 			Default: StreamPolicy{BPC: 3, ECC: eccOn},
 		}
-		enc := EncodeLayer(cl, cfg)
+		enc := sparse.Must(EncodeLayer(cl, cfg))
 		var sum float64
 		const n = 8
 		for s := 0; s < n; s++ {
@@ -158,7 +158,7 @@ func TestECCEliminatesValueFaults(t *testing.T) {
 func TestRunTrialDeterministic(t *testing.T) {
 	cl := testLayer(64, 64, 0.6, 4, 6)
 	cfg := Config{Tech: envm.CTT, Encoding: sparse.KindCSR, Default: StreamPolicy{BPC: 3}}
-	enc := EncodeLayer(cl, cfg)
+	enc := sparse.Must(EncodeLayer(cl, cfg))
 	a := RunTrial(enc, cl.Indices, cl.Centroids, cfg, 42)
 	b := RunTrial(enc, cl.Indices, cl.Centroids, cfg, 42)
 	if a != b {

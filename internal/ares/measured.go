@@ -1,12 +1,15 @@
 package ares
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dnn"
 	"repro/internal/quant"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -24,6 +27,19 @@ type MeasuredEvaluator struct {
 	layerIdx []int
 	// clustered holds the pruned+clustered form of each weight layer.
 	clustered []*quant.Clustered
+
+	// snap is the pristine clustered weight snapshot taken at
+	// construction, restored after every inference.
+	snap map[int]*tensor.Matrix
+
+	// mu serializes the apply-weights + inference + restore critical
+	// section of EvalTrial: the model's weight matrices are mutated in
+	// place, so only one trial may occupy the model at a time. Encoding,
+	// injection, and decoding run outside the lock and parallelize.
+	mu sync.Mutex
+	// encMu guards encCache (pristine per-config encodings; trials clone).
+	encMu    sync.Mutex
+	encCache map[string][]sparse.Encoding
 }
 
 // NewMeasuredEvaluator prunes and clusters the trained model's weights
@@ -46,6 +62,8 @@ func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*Meas
 		ev.clustered = append(ev.clustered, cl)
 	}
 	ev.BaselineErr = train.Error(m, test)
+	ev.snap = m.CloneWeights()
+	ev.encCache = make(map[string][]sparse.Encoding)
 	return ev, nil
 }
 
@@ -72,7 +90,7 @@ func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) Mea
 	// Pre-encode each layer once; trials clone.
 	encs := make([]sparse.Encoding, len(ev.clustered))
 	for i, cl := range ev.clustered {
-		encs[i] = EncodeLayer(cl, cfg)
+		encs[i] = sparse.Must(EncodeLayer(cl, cfg))
 	}
 	snap := ev.Model.CloneWeights()
 	defer ev.Model.RestoreWeights(snap)
@@ -116,6 +134,85 @@ func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) Mea
 	}
 	res.MeanDeltaErr /= float64(trials)
 	return res
+}
+
+// encodings returns the pristine per-layer encodings for cfg, encoding
+// each distinct configuration once and caching the result (trials clone
+// before mutating, so sharing the pristine encodings is safe).
+func (ev *MeasuredEvaluator) encodings(cfg Config) ([]sparse.Encoding, error) {
+	key := cfg.String()
+	ev.encMu.Lock()
+	defer ev.encMu.Unlock()
+	if encs, ok := ev.encCache[key]; ok {
+		return encs, nil
+	}
+	encs := make([]sparse.Encoding, len(ev.clustered))
+	for i, cl := range ev.clustered {
+		enc, err := EncodeLayer(cl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		encs[i] = enc
+	}
+	ev.encCache[key] = encs
+	return encs, nil
+}
+
+// EvalTrial runs ONE fault-injection trial under cfg with the given
+// trial seed and returns the measured classification-error delta
+// (clamped at 0) plus the aggregated corruption statistics.
+//
+// It is the campaign-engine entry point: errors are returned rather than
+// panicking, a cancelled context aborts between layers, and concurrent
+// calls are safe — encode/inject/decode run in parallel while the
+// apply-weights + inference step is serialized on the shared model.
+// Seeding contract: the per-layer injection seeds are drawn from
+// stats.NewSource(seed), so the trial outcome is a pure function of
+// (cfg, seed) regardless of worker interleaving.
+func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	var agg TrialStats
+	encs, err := ev.encodings(cfg)
+	if err != nil {
+		return 0, agg, err
+	}
+	tsrc := stats.NewSource(seed)
+	decodedLayers := make([][]uint8, len(ev.clustered))
+	for i, cl := range ev.clustered {
+		st, decoded, err := RunTrialChecked(ctx, encs[i], cl.Indices, cl.Centroids, cfg, tsrc.Uint64())
+		if err != nil {
+			return 0, agg, err
+		}
+		decodedLayers[i] = decoded
+		agg.Faults += st.Faults
+		agg.Corrected += st.Corrected
+		agg.Detected += st.Detected
+		w := float64(len(cl.Indices))
+		agg.StructFrac += st.StructFrac * w
+		agg.Mismatch += st.Mismatch * w
+		agg.ValueNSR += st.ValueNSR * w
+	}
+	total := float64(ev.totalWeights())
+	agg.StructFrac /= total
+	agg.Mismatch /= total
+	agg.ValueNSR /= total
+
+	if err := ctx.Err(); err != nil {
+		return 0, agg, err
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	for i, cl := range ev.clustered {
+		layer := ev.Model.Layers[ev.layerIdx[i]]
+		for j, idx := range decodedLayers[i] {
+			layer.Weights.Data[j] = cl.Centroids[idx]
+		}
+	}
+	delta := train.Error(ev.Model, ev.Test) - ev.BaselineErr
+	ev.Model.RestoreWeights(ev.snap)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, agg, nil
 }
 
 func (ev *MeasuredEvaluator) totalWeights() int {

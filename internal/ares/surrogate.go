@@ -138,7 +138,9 @@ func (o EvalOptions) withDefaults() EvalOptions {
 // decoding.
 func EvaluateLayer(cl *quant.Clustered, cfg Config, opt EvalOptions) LayerDamage {
 	opt = opt.withDefaults()
-	enc := EncodeLayer(cl, cfg)
+	// Exploration configs enumerate known kinds over layers produced by
+	// quant.Cluster, so an encode failure here is a programmer error.
+	enc := sparse.Must(EncodeLayer(cl, cfg))
 	ld := LayerDamage{
 		Costs:   Cost(enc, cfg),
 		Weights: len(cl.Indices),
@@ -208,7 +210,7 @@ func lambdaEff(bits int64, sc envm.StoreConfig, eccOn bool) float64 {
 // uncorrectable case); otherwise a single cell fault.
 func probeDamage(enc sparse.Encoding, streamIdx int, cl *quant.Clustered, cfg Config, p StreamPolicy, trials int, src *stats.Source) (dStruct, dNSR, dMismatch float64) {
 	for t := 0; t < trials; t++ {
-		clone := sparse.CloneEncoding(enc)
+		clone := sparse.Must(sparse.CloneEncoding(enc))
 		s := clone.Streams()[streamIdx]
 		cells := int(envm.CellsFor(s.SizeBits(), p.BPC))
 		if cells == 0 {

@@ -1,0 +1,590 @@
+// Package campaign is the resilient Monte Carlo campaign engine behind
+// the repository's fault-injection sweeps (the paper's Figures 5-7 and
+// Tables 3-4 all rest on statistically sufficient injection campaigns).
+//
+// A campaign executes (config x trial) cells through a bounded worker
+// pool with:
+//
+//   - context.Context cancellation and per-trial deadlines;
+//   - per-trial panic recovery: a panic in the trial function (or the
+//     library code it calls) becomes a typed *TrialError that fails one
+//     trial, never the campaign;
+//   - bounded retry with exponential backoff for errors marked transient
+//     (see Transient);
+//   - JSONL checkpointing with deterministic seed derivation (TrialSeed),
+//     so an interrupted campaign resumes to bit-identical aggregates;
+//   - streaming aggregation (Welford mean/variance + normal confidence
+//     intervals) with optional adaptive early stopping: sampling a config
+//     stops once its confidence interval is tight enough.
+//
+// Determinism contract: results are folded into the aggregates strictly
+// in trial order per config, regardless of worker completion order. Every
+// trial's outcome is a pure function of its derived seed. Therefore any
+// run — uninterrupted, interrupted+resumed, or with a different worker
+// count — that covers the same trials produces bit-identical aggregates,
+// and the early-stopping decision (made on the in-order prefix) is
+// reached at the same trial index in every run.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Trial identifies one Monte Carlo cell: a config (by ID), a trial index
+// within that config, and the seed derived for it (see TrialSeed).
+type Trial struct {
+	Config string
+	Index  int
+	Seed   uint64
+}
+
+// Sample is the outcome of one successful trial. Value is the primary
+// metric (classification-error delta in the fault-injection campaigns);
+// the aggregate's confidence interval and early stopping act on it.
+// Extra holds secondary metrics (fault counts, mismatch fractions, ...)
+// that are averaged per config.
+type Sample struct {
+	Value float64            `json:"v"`
+	Extra map[string]float64 `json:"x,omitempty"`
+}
+
+// RunFunc executes one trial. It must be safe for concurrent invocation,
+// must derive all randomness from t.Seed, and should honor ctx (the
+// engine additionally applies the per-trial deadline through ctx).
+type RunFunc func(ctx context.Context, t Trial) (Sample, error)
+
+// TrialError is the typed, terminal failure of a single trial. Library
+// panics, per-trial deadline hits, and exhausted retries all surface as
+// TrialErrors in the config's aggregate; they never abort the campaign.
+type TrialError struct {
+	Config   string
+	Trial    int
+	Seed     uint64
+	Kind     string // "panic", "timeout", or "error"
+	Msg      string
+	Attempts int
+}
+
+// Error implements the error interface.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("campaign: config %q trial %d (seed %d) failed after %d attempt(s): %s: %s",
+		e.Config, e.Trial, e.Seed, e.Attempts, e.Kind, e.Msg)
+}
+
+// Trial failure kinds.
+const (
+	KindPanic   = "panic"
+	KindTimeout = "timeout"
+	KindError   = "error"
+)
+
+type transientError struct{ err error }
+
+func (t *transientError) Error() string   { return t.err.Error() }
+func (t *transientError) Unwrap() error   { return t.err }
+func (t *transientError) Transient() bool { return true }
+
+// Transient wraps an error so the engine retries the trial (with
+// backoff) instead of failing it terminally.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Options tunes a campaign.
+type Options struct {
+	// Seed is the campaign base seed; every trial seed derives from it
+	// (TrialSeed). A resumed campaign must use the same base seed — the
+	// checkpoint records it and New fails on mismatch.
+	Seed uint64
+	// MaxTrials is the per-config trial budget (required, > 0).
+	MaxTrials int
+	// MinTrials is the minimum trials folded before early stopping may
+	// trigger (default 4; only meaningful with CITarget > 0).
+	MinTrials int
+	// CITarget enables adaptive early stopping: once a config's
+	// confidence-interval half-width on the primary metric is <= CITarget
+	// (and >= MinTrials trials folded), its remaining trials are skipped.
+	// 0 disables early stopping.
+	CITarget float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Workers bounds the worker pool (default min(GOMAXPROCS, 8)).
+	Workers int
+	// TrialTimeout is the per-trial deadline (0 = none).
+	TrialTimeout time.Duration
+	// Retries is the retry budget for transient failures per trial
+	// (default 2; the first attempt is not a retry).
+	Retries int
+	// Backoff is the base retry backoff, doubled per attempt (default
+	// 10ms). Backoff sleeps are cancellable.
+	Backoff time.Duration
+	// CheckpointPath appends every completed trial to a JSONL file ("" =
+	// no checkpointing).
+	CheckpointPath string
+	// Resume preloads outcomes from CheckpointPath (if it exists) so only
+	// missing trials execute.
+	Resume bool
+	// Log, when non-nil, receives one progress line per config completion.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinTrials <= 0 {
+		o.MinTrials = 4
+	}
+	if o.MinTrials < 2 {
+		o.MinTrials = 2 // a CI needs a variance estimate
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// ConfigResult is the aggregate of one config's folded trials.
+type ConfigResult struct {
+	Config string
+	// N is the number of successful trials folded into the statistics.
+	N int64
+	// Mean, Std, CIHalf, Min, Max describe the primary metric.
+	Mean, Std, CIHalf, Min, Max float64
+	// Extra holds the per-config means of the secondary metrics.
+	Extra map[string]float64
+	// Errors lists terminal trial failures in trial order.
+	Errors []*TrialError
+	// EarlyStopped reports that the CI target was met before MaxTrials.
+	EarlyStopped bool
+}
+
+// Result is a campaign outcome. It is valid (partial) even when Run
+// returns a cancellation error.
+type Result struct {
+	// Configs holds one aggregate per config, in input order.
+	Configs []ConfigResult
+	// Executed counts trials run live; Reused counts outcomes replayed
+	// from the checkpoint; Skipped counts trials avoided by early
+	// stopping.
+	Executed, Reused, Skipped int
+	// Interrupted is set when the campaign was cancelled before covering
+	// every scheduled trial.
+	Interrupted bool
+}
+
+// Config returns the aggregate for a config ID (nil if unknown).
+func (r *Result) Config(id string) *ConfigResult {
+	for i := range r.Configs {
+		if r.Configs[i].Config == id {
+			return &r.Configs[i]
+		}
+	}
+	return nil
+}
+
+// configState tracks per-config fold progress. Results fold strictly in
+// trial order: out-of-order completions park in pending until the gap
+// closes.
+type configState struct {
+	name    string
+	agg     stats.Welford
+	extra   map[string]float64 // running sums over successful trials
+	errs    []*TrialError
+	next    int // next trial index to fold
+	pending map[int]*Record
+	stopped bool // early-stop decided (no further folds or dispatches)
+}
+
+// Campaign is a configured engine instance. Create with New, execute
+// with Run (once).
+type Campaign struct {
+	configs []string
+	run     RunFunc
+	opt     Options
+
+	state    map[string]*configState
+	order    []string
+	preload  map[trialKey]*Record
+	ckpt     *checkpointWriter
+	statesMu sync.Mutex // guards configState.stopped reads from workers
+}
+
+type trialKey struct {
+	config string
+	trial  int
+}
+
+// New validates options, loads the checkpoint when resuming, and returns
+// a ready campaign.
+func New(configs []string, run RunFunc, opt Options) (*Campaign, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("campaign: no configs")
+	}
+	if run == nil {
+		return nil, errors.New("campaign: nil RunFunc")
+	}
+	opt = opt.withDefaults()
+	if opt.MaxTrials <= 0 {
+		return nil, errors.New("campaign: MaxTrials must be > 0")
+	}
+	seen := map[string]bool{}
+	for _, id := range configs {
+		if id == "" {
+			return nil, errors.New("campaign: empty config ID")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("campaign: duplicate config ID %q", id)
+		}
+		seen[id] = true
+	}
+	c := &Campaign{
+		configs: append([]string(nil), configs...),
+		run:     run,
+		opt:     opt,
+		state:   map[string]*configState{},
+	}
+	for _, id := range c.configs {
+		c.state[id] = &configState{name: id, extra: map[string]float64{}, pending: map[int]*Record{}}
+	}
+	if opt.Resume && opt.CheckpointPath != "" {
+		pre, err := loadCheckpoint(opt.CheckpointPath, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.preload = pre
+	}
+	return c, nil
+}
+
+// Run executes the campaign. On cancellation it flushes the checkpoint
+// and returns the partial Result together with the context's error;
+// otherwise the error is nil.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	res := &Result{}
+
+	if c.opt.CheckpointPath != "" {
+		w, err := openCheckpoint(c.opt.CheckpointPath, c.opt.Seed, c.opt.Resume)
+		if err != nil {
+			return nil, err
+		}
+		c.ckpt = w
+		defer c.ckpt.Close()
+	}
+
+	// Phase 1: replay checkpointed outcomes in deterministic order.
+	res.Reused = c.replayPreloaded()
+
+	// Phase 2: execute the remaining trials through the worker pool.
+	specs := make(chan Trial)
+	results := make(chan *Record)
+	var wg sync.WaitGroup
+	for i := 0; i < c.opt.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.worker(ctx, specs, results)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go c.produce(ctx, specs)
+
+	for rec := range results {
+		res.Executed++
+		if c.ckpt != nil {
+			if err := c.ckpt.Append(rec); err != nil && c.opt.Log != nil {
+				fmt.Fprintf(c.opt.Log, "campaign: checkpoint write failed: %v\n", err)
+			}
+		}
+		c.fold(rec)
+	}
+
+	c.finalize(res)
+	if err := ctx.Err(); err != nil {
+		res.Interrupted = true
+		return res, err
+	}
+	return res, nil
+}
+
+// replayPreloaded folds checkpointed outcomes config by config in trial
+// order. Returns the number of records folded or parked.
+func (c *Campaign) replayPreloaded() int {
+	if len(c.preload) == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range c.configs {
+		var idxs []int
+		for key := range c.preload {
+			if key.config == id {
+				idxs = append(idxs, key.trial)
+			}
+		}
+		sort.Ints(idxs)
+		for _, t := range idxs {
+			if t >= c.opt.MaxTrials {
+				continue // budget shrank since the checkpoint was written
+			}
+			c.fold(c.preload[trialKey{id, t}])
+			n++
+		}
+	}
+	return n
+}
+
+// produce streams the not-yet-covered trial specs to the workers.
+func (c *Campaign) produce(ctx context.Context, specs chan<- Trial) {
+	defer close(specs)
+	for _, id := range c.configs {
+		for t := 0; t < c.opt.MaxTrials; t++ {
+			if _, ok := c.preload[trialKey{id, t}]; ok {
+				continue
+			}
+			if c.configStopped(id) {
+				break
+			}
+			spec := Trial{Config: id, Index: t, Seed: TrialSeed(c.opt.Seed, id, t)}
+			select {
+			case specs <- spec:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func (c *Campaign) configStopped(id string) bool {
+	c.statesMu.Lock()
+	defer c.statesMu.Unlock()
+	return c.state[id].stopped
+}
+
+// worker executes trials with deadline, panic isolation, and retry, and
+// reports completed outcomes. Cancelled (not timed-out) trials report
+// nothing: they are unfinished, not failed.
+func (c *Campaign) worker(ctx context.Context, specs <-chan Trial, results chan<- *Record) {
+	for spec := range specs {
+		if ctx.Err() != nil {
+			return
+		}
+		if c.configStopped(spec.Config) {
+			continue // early stop raced with dispatch; drop the trial
+		}
+		rec := c.attempt(ctx, spec)
+		if rec == nil {
+			continue // cancelled mid-trial
+		}
+		select {
+		case results <- rec:
+		case <-ctx.Done():
+			// The collector drains `results` until the pool exits, so this
+			// branch is unreachable in practice; keep it as a liveness
+			// guard.
+			return
+		}
+	}
+}
+
+// attempt runs one trial with up to 1+Retries attempts. A nil return
+// means the campaign context was cancelled and the trial is unfinished.
+func (c *Campaign) attempt(ctx context.Context, spec Trial) *Record {
+	var lastErr error
+	attempts := 0
+	for attempts <= c.opt.Retries {
+		attempts++
+		sample, err := c.runOne(ctx, spec)
+		if err == nil {
+			return &Record{Config: spec.Config, Trial: spec.Index, Seed: spec.Seed, Sample: &sample}
+		}
+		if ctx.Err() != nil {
+			return nil // campaign cancelled, not a trial failure
+		}
+		lastErr = err
+		if errors.Is(err, context.DeadlineExceeded) {
+			return failure(spec, KindTimeout, err, attempts)
+		}
+		if pe := (*panicError)(nil); errors.As(err, &pe) {
+			return failure(spec, KindPanic, err, attempts)
+		}
+		if !IsTransient(err) {
+			return failure(spec, KindError, err, attempts)
+		}
+		// Transient: back off (cancellable) and retry.
+		backoff := c.opt.Backoff << uint(attempts-1)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil
+		}
+	}
+	return failure(spec, KindError, fmt.Errorf("transient failure persisted: %w", lastErr), attempts)
+}
+
+func failure(spec Trial, kind string, err error, attempts int) *Record {
+	return &Record{
+		Config: spec.Config, Trial: spec.Index, Seed: spec.Seed,
+		ErrKind: kind, ErrMsg: err.Error(), Attempts: attempts,
+	}
+}
+
+// panicError carries a recovered panic out of the trial goroutine.
+type panicError struct {
+	value any
+	stack string
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", p.value, p.stack)
+}
+
+// runOne executes the trial function once under the per-trial deadline,
+// converting panics into *panicError. The trial body runs in its own
+// goroutine so a deadline hit can be reported even if the body does not
+// poll ctx (the body's goroutine is then abandoned until it returns).
+func (c *Campaign) runOne(ctx context.Context, spec Trial) (Sample, error) {
+	tctx := ctx
+	if c.opt.TrialTimeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, c.opt.TrialTimeout)
+		defer cancel()
+	}
+	type outcome struct {
+		sample Sample
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				ch <- outcome{err: &panicError{value: r, stack: string(buf)}}
+			}
+		}()
+		s, err := c.run(tctx, spec)
+		ch <- outcome{sample: s, err: err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err == nil && tctx.Err() != nil {
+			// The body returned success only after the deadline passed;
+			// treat it uniformly as the deadline outcome so checkpointed
+			// runs and live runs agree.
+			return Sample{}, tctx.Err()
+		}
+		return o.sample, o.err
+	case <-tctx.Done():
+		return Sample{}, tctx.Err()
+	}
+}
+
+// fold merges one completed outcome into its config aggregate, strictly
+// in trial order; out-of-order arrivals park in pending.
+func (c *Campaign) fold(rec *Record) {
+	st := c.state[rec.Config]
+	if st == nil {
+		return // checkpoint record for a config not in this campaign
+	}
+	c.statesMu.Lock()
+	defer c.statesMu.Unlock()
+	if st.stopped || rec.Trial < st.next {
+		return // past the early-stop point or a duplicate
+	}
+	st.pending[rec.Trial] = rec
+	for {
+		next, ok := st.pending[st.next]
+		if !ok {
+			return
+		}
+		delete(st.pending, st.next)
+		st.next++
+		if next.Sample != nil {
+			st.agg.Add(next.Sample.Value)
+			for k, v := range next.Sample.Extra {
+				st.extra[k] += v
+			}
+		} else {
+			st.errs = append(st.errs, &TrialError{
+				Config: next.Config, Trial: next.Trial, Seed: next.Seed,
+				Kind: next.ErrKind, Msg: next.ErrMsg, Attempts: next.Attempts,
+			})
+		}
+		if c.opt.CITarget > 0 && st.agg.N() >= int64(c.opt.MinTrials) &&
+			st.agg.CIHalfWidth(c.opt.Confidence) <= c.opt.CITarget {
+			st.stopped = true
+			st.pending = map[int]*Record{}
+			return
+		}
+	}
+}
+
+// finalize renders the per-config aggregates into the result.
+func (c *Campaign) finalize(res *Result) {
+	c.statesMu.Lock()
+	defer c.statesMu.Unlock()
+	for _, id := range c.configs {
+		st := c.state[id]
+		cr := ConfigResult{
+			Config:       id,
+			N:            st.agg.N(),
+			Mean:         st.agg.Mean(),
+			Std:          st.agg.Std(),
+			CIHalf:       st.agg.CIHalfWidth(c.opt.Confidence),
+			Min:          st.agg.Min(),
+			Max:          st.agg.Max(),
+			Errors:       st.errs,
+			EarlyStopped: st.stopped,
+		}
+		if st.stopped {
+			res.Skipped += c.opt.MaxTrials - st.next
+		} else if st.next+len(st.pending) < c.opt.MaxTrials {
+			res.Interrupted = true
+		}
+		if st.agg.N() > 0 && len(st.extra) > 0 {
+			cr.Extra = make(map[string]float64, len(st.extra))
+			for k, v := range st.extra {
+				cr.Extra[k] = v / float64(st.agg.N())
+			}
+		}
+		res.Configs = append(res.Configs, cr)
+		if c.opt.Log != nil {
+			fmt.Fprintf(c.opt.Log, "campaign: %-40s n=%-4d mean=%.5g ±%.2g errors=%d%s\n",
+				id, cr.N, cr.Mean, cr.CIHalf, len(cr.Errors), map[bool]string{true: " (early stop)"}[st.stopped])
+		}
+	}
+}

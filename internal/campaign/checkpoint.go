@@ -1,0 +1,173 @@
+package campaign
+
+// JSONL checkpoint format.
+//
+// Line 1 is a header object recording the campaign base seed and format
+// version; every following line is one completed trial outcome (success
+// or terminal failure). Lines are appended and flushed as trials finish,
+// so a killed campaign loses at most the in-flight trials. On resume the
+// file is replayed: records whose seed does not match the deterministic
+// derivation for (base seed, config, trial) are ignored as stale, so a
+// checkpoint can never silently poison a campaign with foreign results.
+//
+// Float64 values round-trip exactly through encoding/json (Go emits the
+// shortest representation that parses back to the same bits), which is
+// what makes resumed aggregates bit-identical rather than merely close.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointVersion is bumped on any incompatible format change.
+const checkpointVersion = 1
+
+type header struct {
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+}
+
+type headerLine struct {
+	Campaign *header `json:"campaign"`
+}
+
+// Record is one checkpointed trial outcome. Exactly one of Sample /
+// ErrKind+ErrMsg is set.
+type Record struct {
+	Config   string  `json:"config"`
+	Trial    int     `json:"trial"`
+	Seed     uint64  `json:"seed"`
+	Sample   *Sample `json:"sample,omitempty"`
+	ErrKind  string  `json:"err_kind,omitempty"`
+	ErrMsg   string  `json:"err,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+}
+
+// checkpointWriter appends records to a JSONL file, flushing per record.
+type checkpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf *bufio.Writer
+}
+
+// openCheckpoint opens (resume) or creates (fresh) the checkpoint file
+// and ensures the header is present and matches the campaign seed.
+func openCheckpoint(path string, seed uint64, resume bool) (*checkpointWriter, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+			}
+			return &checkpointWriter{f: f, buf: bufio.NewWriter(f)}, nil
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
+	}
+	w := &checkpointWriter{f: f, buf: bufio.NewWriter(f)}
+	line, _ := json.Marshal(headerLine{Campaign: &header{Version: checkpointVersion, Seed: seed}})
+	if _, err := w.buf.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.buf.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append writes one record and flushes it to the OS.
+func (w *checkpointWriter) Append(rec *Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.buf.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+// Close flushes and closes the file.
+func (w *checkpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// loadCheckpoint reads a checkpoint file and returns the usable records
+// keyed by (config, trial). A missing file is not an error (nothing to
+// resume); a seed or version mismatch is, because silently mixing
+// campaigns would corrupt the statistics.
+func loadCheckpoint(path string, seed uint64) (map[trialKey]*Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+		}
+		return nil, nil // empty file: treat as no checkpoint
+	}
+	var hl headerLine
+	if err := json.Unmarshal(sc.Bytes(), &hl); err != nil || hl.Campaign == nil {
+		return nil, fmt.Errorf("campaign: %s is not a campaign checkpoint (bad header)", path)
+	}
+	if hl.Campaign.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has format version %d, want %d",
+			path, hl.Campaign.Version, checkpointVersion)
+	}
+	if hl.Campaign.Seed != seed {
+		return nil, fmt.Errorf("campaign: checkpoint %s was written with seed %d, campaign uses %d",
+			path, hl.Campaign.Seed, seed)
+	}
+
+	out := map[trialKey]*Record{}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final line from a killed process is expected; torn
+			// lines elsewhere would have broken JSON too, so just stop at
+			// the first undecodable record.
+			break
+		}
+		if rec.Config == "" || rec.Trial < 0 {
+			continue
+		}
+		if rec.Seed != TrialSeed(seed, rec.Config, rec.Trial) {
+			continue // stale record from an incompatible derivation
+		}
+		out[trialKey{rec.Config, rec.Trial}] = &rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint line %d: %w", lineNo, err)
+	}
+	return out, nil
+}

@@ -86,7 +86,7 @@ func (o ProfileOptions) withDefaults() ProfileOptions {
 func ProfileLayer(pl PreparedLayer, kind sparse.Kind, opt ProfileOptions) LayerProfile {
 	opt = opt.withDefaults()
 	cl := pl.CL
-	enc := sparse.Encode(kind, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
+	enc := sparse.Must(sparse.Encode(kind, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
 	lp := LayerProfile{
 		LayerName:   pl.Name,
 		Kind:        kind,

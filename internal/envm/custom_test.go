@@ -33,7 +33,7 @@ func TestLoadTech(t *testing.T) {
 		t.Errorf("defaults missing: %+v", tech)
 	}
 	// Resulting tech is fully usable in the fault model.
-	lm := tech.Levels(2)
+	lm := mustLevels(tech.Levels(2))
 	if lm.NumLevels() != 4 {
 		t.Error("custom tech level model broken")
 	}

@@ -9,6 +9,26 @@ import (
 	"repro/internal/stats"
 )
 
+// mustLevels unwraps Levels/LevelsAfter results in tests whose bpc is a
+// valid constant, where an error is a test bug.
+func mustLevels(lm LevelModel, err error) LevelModel {
+	if err != nil {
+		panic(err)
+	}
+	return lm
+}
+
+func TestLevelsRejectsBadBPC(t *testing.T) {
+	for _, bpc := range []int{0, -1, 5, 99} {
+		if _, err := CTT.Levels(bpc); err == nil {
+			t.Errorf("Levels(%d) accepted", bpc)
+		}
+		if _, err := CTT.LevelsAfter(bpc, 3); err == nil {
+			t.Errorf("LevelsAfter(%d, 3) accepted", bpc)
+		}
+	}
+}
+
 func TestTechValidation(t *testing.T) {
 	for _, tech := range append(Evaluated(), Survey()...) {
 		if err := tech.Validate(); err != nil {
@@ -36,7 +56,7 @@ func TestLevelModelCalibration(t *testing.T) {
 	// The MLC3 worst adjacent fault rate must match the calibration
 	// target for every evaluated tech.
 	for _, tech := range Evaluated() {
-		lm := tech.Levels(3)
+		lm := mustLevels(tech.Levels(3))
 		got := lm.WorstAdjacentFault()
 		if math.Abs(math.Log10(got)-math.Log10(tech.MLC3FaultRate)) > 0.05 {
 			t.Errorf("%s MLC3 fault = %.3g, want %.3g", tech.Name, got, tech.MLC3FaultRate)
@@ -45,7 +65,7 @@ func TestLevelModelCalibration(t *testing.T) {
 }
 
 func TestLevelGeometry(t *testing.T) {
-	lm := CTT.Levels(3)
+	lm := mustLevels(CTT.Levels(3))
 	if lm.NumLevels() != 8 || len(lm.Thresholds) != 7 {
 		t.Fatalf("levels %d thresholds %d", lm.NumLevels(), len(lm.Thresholds))
 	}
@@ -62,7 +82,7 @@ func TestLevelGeometry(t *testing.T) {
 }
 
 func TestCTTUnprogrammedLevelWider(t *testing.T) {
-	lm := CTT.Levels(3)
+	lm := mustLevels(CTT.Levels(3))
 	if lm.Levels[0].Sigma <= lm.Levels[1].Sigma {
 		t.Error("CTT level 0 should be wider than programmed levels")
 	}
@@ -92,9 +112,9 @@ func TestFewerBitsPerCellExponentiallySafer(t *testing.T) {
 	// The core physical effect: MLC2 fault rates are many orders of
 	// magnitude below MLC3; SLC is effectively fault-free.
 	for _, tech := range Evaluated() {
-		f3 := tech.Levels(3).WorstAdjacentFault()
-		f2 := tech.Levels(2).WorstAdjacentFault()
-		f1 := tech.Levels(1).WorstAdjacentFault()
+		f3 := mustLevels(tech.Levels(3)).WorstAdjacentFault()
+		f2 := mustLevels(tech.Levels(2)).WorstAdjacentFault()
+		f1 := mustLevels(tech.Levels(1)).WorstAdjacentFault()
 		if tech.MaxBitsPerCell < 3 {
 			f3 = 1 // skip: undefined for SLC-only techs but Levels still computes
 		}
@@ -108,7 +128,7 @@ func TestFewerBitsPerCellExponentiallySafer(t *testing.T) {
 }
 
 func TestFaultMapBoundaries(t *testing.T) {
-	fm := CTT.Levels(3).FaultMap()
+	fm := mustLevels(CTT.Levels(3)).FaultMap()
 	if fm.PDown[0] != 0 {
 		t.Error("lowest level cannot fault down")
 	}
@@ -129,7 +149,7 @@ func TestSenseAmpAlterationWithinBudget(t *testing.T) {
 		if bpcMax < 2 {
 			continue
 		}
-		lm := tech.Levels(bpcMax)
+		lm := mustLevels(tech.Levels(bpcMax))
 		alt := DefaultSenseAmp.FaultAlteration(lm)
 		if alt >= 2 {
 			t.Errorf("%s: sense amp alters fault rate %.2fx >= 2x", tech.Name, alt)
@@ -141,7 +161,7 @@ func TestSenseAmpAlterationWithinBudget(t *testing.T) {
 }
 
 func TestSenseAmpWidthTradeoff(t *testing.T) {
-	lm := CTT.Levels(3)
+	lm := mustLevels(CTT.Levels(3))
 	narrow := SenseAmp{OffsetSigmaAtMinWidth: 0.02, WidthScale: 1}
 	wide := SenseAmp{OffsetSigmaAtMinWidth: 0.02, WidthScale: 16}
 	if narrow.FaultAlteration(lm) <= wide.FaultAlteration(lm) {

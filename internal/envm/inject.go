@@ -68,12 +68,20 @@ type faultMapKey struct {
 // clamped from below by the technology's retention/defect floor on every
 // physically possible transition. The result is memoized per
 // configuration and must be treated as read-only.
+//
+// FaultMap panics on an out-of-range BPC: the config must have passed
+// Validate before reaching here, so a failure is a programmer error,
+// not a recoverable input condition.
 func (c StoreConfig) FaultMap() FaultMap {
 	key := faultMapKey{tech: c.Tech, bpc: c.BPC, years: c.RetentionYears, sa: c.senseAmp()}
 	if v, ok := faultMapCache.Load(key); ok {
 		return v.(FaultMap)
 	}
-	lm := c.senseAmp().Apply(c.Tech.LevelsAfter(c.BPC, c.RetentionYears))
+	raw, err := c.Tech.LevelsAfter(c.BPC, c.RetentionYears)
+	if err != nil {
+		panic(err)
+	}
+	lm := c.senseAmp().Apply(raw)
 	fm := lm.FaultMap()
 	floor := c.Tech.RetentionFloor(c.BPC)
 	n := fm.NumLevels()

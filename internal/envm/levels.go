@@ -30,12 +30,16 @@ func (lm LevelModel) NumLevels() int { return len(lm.Levels) }
 // reused at lower bits-per-cell, where wider spacing drives fault rates
 // down by many orders of magnitude — the physical effect the paper's
 // density/reliability trade-off rests on.
-func (t Tech) Levels(bpc int) LevelModel {
+//
+// Bits-per-cell outside [1, 4] is reported as an error: bpc flows in
+// from CLI flags and sweep configurations, and callers must be able to
+// reject a bad value instead of crashing a whole campaign.
+func (t Tech) Levels(bpc int) (LevelModel, error) {
 	if bpc < 1 || bpc > 4 {
-		panic(fmt.Sprintf("envm: bits per cell %d out of range", bpc))
+		return LevelModel{}, fmt.Errorf("envm: bits per cell %d out of range [1, 4]", bpc)
 	}
 	sigma := t.deviceSigma()
-	return t.levelsWithSigma(bpc, sigma)
+	return t.levelsWithSigma(bpc, sigma), nil
 }
 
 // deviceSigma calibrates the programmed-level sigma at MLC3 against

@@ -111,10 +111,14 @@ func WritePrecisionTradeoff(base ProgramModel, target float64, cells int, pulseM
 const DriftSigmaPerSqrtYear = 0.004
 
 // LevelsAfter returns the level model after `years` of retention drift.
-func (t Tech) LevelsAfter(bpc int, years float64) LevelModel {
-	lm := t.Levels(bpc)
+// Like Levels, an out-of-range bpc is reported as an error.
+func (t Tech) LevelsAfter(bpc int, years float64) (LevelModel, error) {
+	lm, err := t.Levels(bpc)
+	if err != nil {
+		return LevelModel{}, err
+	}
 	if years <= 0 {
-		return lm
+		return lm, nil
 	}
 	drift := DriftSigmaPerSqrtYear * math.Sqrt(years)
 	out := LevelModel{
@@ -127,11 +131,16 @@ func (t Tech) LevelsAfter(bpc int, years float64) LevelModel {
 			Sigma: math.Sqrt(g.Sigma*g.Sigma + drift*drift),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RetentionFaultRate returns the worst adjacent misread probability after
-// the given retention time.
+// the given retention time. It requires a valid bpc (see Levels); use it
+// only after StoreConfig.Validate or equivalent has checked the range.
 func (t Tech) RetentionFaultRate(bpc int, years float64) float64 {
-	return t.LevelsAfter(bpc, years).WorstAdjacentFault()
+	lm, err := t.LevelsAfter(bpc, years)
+	if err != nil {
+		panic(err)
+	}
+	return lm.WorstAdjacentFault()
 }

@@ -78,8 +78,8 @@ func TestRetentionDriftMonotone(t *testing.T) {
 }
 
 func TestLevelsAfterZeroYearsIdentity(t *testing.T) {
-	a := CTT.Levels(2)
-	b := CTT.LevelsAfter(2, 0)
+	a := mustLevels(CTT.Levels(2))
+	b := mustLevels(CTT.LevelsAfter(2, 0))
 	for i := range a.Levels {
 		if a.Levels[i] != b.Levels[i] {
 			t.Fatal("zero-year drift changed levels")

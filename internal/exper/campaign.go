@@ -1,0 +1,110 @@
+package exper
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// CampaignOptions tunes the resilient campaign-engine variant of the
+// measured experiments (checkpointing, early stopping, deadlines).
+type CampaignOptions struct {
+	// MaxTrials is the per-configuration trial budget (default 12, like
+	// Fig5).
+	MaxTrials int
+	// MinTrials is the floor before early stopping may trigger.
+	MinTrials int
+	// CITarget, when > 0, stops a configuration once the 95% CI
+	// half-width of its error delta shrinks below the target.
+	CITarget float64
+	// Workers bounds trial concurrency (0 = engine default).
+	Workers int
+	// TrialTimeout bounds one trial (0 = no deadline).
+	TrialTimeout time.Duration
+	// Checkpoint is the JSONL checkpoint path ("" = no checkpointing).
+	Checkpoint string
+	// Resume continues from an existing checkpoint at Checkpoint.
+	Resume bool
+}
+
+// Fig5Campaign regenerates Figure 5 through the campaign engine: the
+// same experiment list as Fig5, executed as (config x seed) trials with
+// cancellation, per-trial panic isolation, optional checkpoint/resume,
+// and adaptive early stopping. Trial seeds follow the campaign contract
+// campaign.TrialSeed(e.Seed+99, label, trial), so results are
+// reproducible and resumable bit-for-bit (they draw different fault maps
+// than Fig5's legacy sequential seeding, but estimate the same
+// statistics).
+func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions) error {
+	ev, err := e.Measured()
+	if err != nil {
+		return err
+	}
+	if opt.MaxTrials == 0 {
+		opt.MaxTrials = 12
+	}
+
+	exps := fig5Experiments()
+	configs := make([]string, len(exps))
+	byLabel := make(map[string]fig5Experiment, len(exps))
+	for i, x := range exps {
+		configs[i] = x.Label
+		byLabel[x.Label] = x
+	}
+
+	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+		x, ok := byLabel[t.Config]
+		if !ok {
+			return campaign.Sample{}, fmt.Errorf("exper: unknown config %q", t.Config)
+		}
+		delta, st, err := ev.EvalTrial(ctx, x.Config(), t.Seed)
+		if err != nil {
+			return campaign.Sample{}, err
+		}
+		return campaign.Sample{
+			Value: delta,
+			Extra: map[string]float64{
+				"faults":   float64(st.Faults),
+				"mismatch": st.Mismatch,
+			},
+		}, nil
+	}
+
+	c, err := campaign.New(configs, run, campaign.Options{
+		Seed:           e.Seed + 99,
+		MaxTrials:      opt.MaxTrials,
+		MinTrials:      opt.MinTrials,
+		CITarget:       opt.CITarget,
+		Workers:        opt.Workers,
+		TrialTimeout:   opt.TrialTimeout,
+		CheckpointPath: opt.Checkpoint,
+		Resume:         opt.Resume,
+	})
+	if err != nil {
+		return err
+	}
+	res, runErr := c.Run(ctx)
+
+	fmt.Fprintf(w, "Figure 5 (campaign): measured classification error delta per structure (TinyCNN stand-in, baseline err %.3f)\n",
+		ev.BaselineErr)
+	for _, cr := range res.Configs {
+		note := ""
+		if cr.EarlyStopped {
+			note = "  [early stop]"
+		}
+		if len(cr.Errors) > 0 {
+			note += fmt.Sprintf("  [%d failed trials]", len(cr.Errors))
+		}
+		fmt.Fprintf(w, "  %-30s mean +%.4f ±%.4f  worst +%.4f  n=%d%s\n",
+			cr.Config, cr.Mean, cr.CIHalf, cr.Max, cr.N, note)
+	}
+	fmt.Fprintf(w, "trials: %d executed, %d reused from checkpoint, %d skipped by early stop\n",
+		res.Executed, res.Reused, res.Skipped)
+	if res.Interrupted {
+		fmt.Fprintln(w, "campaign interrupted; partial aggregates above were flushed to the checkpoint")
+	}
+	return runErr
+}

@@ -15,6 +15,7 @@
 package nvsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -106,27 +107,71 @@ var bankChoices = []int{1, 2, 4, 8, 16, 32, 64}
 var matChoices = []int{1, 2, 4, 8, 16}
 var widthChoices = []int{8, 16, 32, 64, 128}
 
-// Sweep characterizes every organization in the search space.
-func Sweep(cfg Config) []Result {
-	if err := validate(cfg); err != nil {
-		panic(err)
-	}
+// Organization is one point of the sweep search space.
+type Organization struct {
+	Banks     int
+	Mats      int // mats per bank
+	DataWidth int // bits per access
+}
+
+// Organizations enumerates the sweep search space for cfg (banks x mats
+// x data width; a fixed cfg.DataWidth collapses the width axis).
+func Organizations(cfg Config) []Organization {
 	widths := widthChoices
 	if cfg.DataWidth != 0 {
 		widths = []int{cfg.DataWidth}
 	}
-	var out []Result
+	out := make([]Organization, 0, len(bankChoices)*len(matChoices)*len(widths))
 	for _, banks := range bankChoices {
 		for _, mats := range matChoices {
 			for _, dw := range widths {
-				r, ok := characterizeOrg(cfg, banks, mats, dw)
-				if ok {
-					out = append(out, r)
-				}
+				out = append(out, Organization{Banks: banks, Mats: mats, DataWidth: dw})
 			}
 		}
 	}
 	return out
+}
+
+// CharacterizeOrg characterizes a single organization point. The bool is
+// false when the organization is infeasible for cfg. The cfg must be
+// valid (see Validate); campaign-style callers should go through
+// SweepCtx, which validates.
+func CharacterizeOrg(cfg Config, org Organization) (Result, bool) {
+	return characterizeOrg(cfg, org.Banks, org.Mats, org.DataWidth)
+}
+
+// Validate reports whether cfg is a characterizable request: a valid
+// technology, a bits-per-cell setting the technology supports, and a
+// positive capacity.
+func Validate(cfg Config) error { return validate(cfg) }
+
+// Sweep characterizes every organization in the search space. It panics
+// on an invalid cfg; CLI-facing callers should prefer SweepCtx.
+func Sweep(cfg Config) []Result {
+	out, err := SweepCtx(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SweepCtx is the checked, cancellable form of Sweep: an invalid cfg is
+// an error, and a cancelled context aborts the sweep between
+// organization points, returning ctx.Err().
+func SweepCtx(ctx context.Context, cfg Config) ([]Result, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, org := range Organizations(cfg) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if r, ok := CharacterizeOrg(cfg, org); ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }
 
 // Characterize returns the best organization for the configured target.
@@ -144,6 +189,10 @@ func Characterize(cfg Config) Result {
 	}
 	return best
 }
+
+// Score returns r's figure of merit under target t (lower is better) —
+// the ranking Characterize uses to pick the sweep winner.
+func Score(r Result, t Target) float64 { return score(r, t) }
 
 func score(r Result, t Target) float64 {
 	switch t {

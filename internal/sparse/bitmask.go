@@ -40,10 +40,15 @@ type BitMaskOptions struct {
 }
 
 // EncodeBitMask encodes the cluster-index matrix (row-major, 0 = pruned)
-// into the NVDLA bitmask format.
-func EncodeBitMask(indices []uint8, rows, cols, valueBits int, opt BitMaskOptions) *BitMask {
+// into the NVDLA bitmask format. It returns an error when the matrix
+// shape or block size is invalid, so callers fed by untrusted
+// configuration can recover.
+func EncodeBitMask(indices []uint8, rows, cols, valueBits int, opt BitMaskOptions) (*BitMask, error) {
 	if len(indices) != rows*cols {
-		panic(fmt.Sprintf("sparse: EncodeBitMask %d indices != %d x %d", len(indices), rows, cols))
+		return nil, fmt.Errorf("sparse: EncodeBitMask: %d indices != %d x %d", len(indices), rows, cols)
+	}
+	if opt.MaskBlockBits < 0 {
+		return nil, fmt.Errorf("sparse: EncodeBitMask: negative block size %d", opt.MaskBlockBits)
 	}
 	blockBits := opt.MaskBlockBits
 	if blockBits == 0 {
@@ -82,7 +87,7 @@ func EncodeBitMask(indices []uint8, rows, cols, valueBits int, opt BitMaskOption
 		}
 		e.Counters = counters
 	}
-	return e
+	return e, nil
 }
 
 // Decode reconstructs the cluster-index matrix from the (possibly

@@ -44,13 +44,15 @@ type CSR struct {
 
 // EncodeCSR encodes the cluster-index matrix indices (row-major,
 // rows x cols, 0 = pruned weight) using relative column indices of
-// indexBits bits. valueBits is the cluster index width.
-func EncodeCSR(indices []uint8, rows, cols, valueBits, indexBits int) *CSR {
+// indexBits bits. valueBits is the cluster index width. It returns an
+// error when the matrix shape or index width is invalid, so callers fed
+// by untrusted configuration (CLI flags, sweep specs) can recover.
+func EncodeCSR(indices []uint8, rows, cols, valueBits, indexBits int) (*CSR, error) {
 	if len(indices) != rows*cols {
-		panic(fmt.Sprintf("sparse: EncodeCSR %d indices != %d x %d", len(indices), rows, cols))
+		return nil, fmt.Errorf("sparse: EncodeCSR: %d indices != %d x %d", len(indices), rows, cols)
 	}
 	if indexBits < 1 || indexBits > 31 {
-		panic("sparse: indexBits out of range")
+		return nil, fmt.Errorf("sparse: EncodeCSR: indexBits %d out of range [1, 31]", indexBits)
 	}
 	maxGap := (1 << uint(indexBits)) - 1
 
@@ -88,7 +90,7 @@ func EncodeCSR(indices []uint8, rows, cols, valueBits, indexBits int) *CSR {
 		Values:   bitstream.FromValues("values", valueBits, values),
 		ColIndex: bitstream.FromValues("colidx", indexBits, colGaps),
 		RowCount: bitstream.FromValues("rowcount", rowBits, rowCounts),
-	}
+	}, nil
 }
 
 // Decode reconstructs the cluster-index matrix from the (possibly
@@ -142,17 +144,20 @@ func (e *CSR) Entries() int { return e.Values.N }
 // BestIndexBits returns the relative-index width in [2, bitsFor(cols-1)]
 // minimizing total CSR size for the given matrix (narrow indices shrink
 // ColIndex but add padding entries; wide ones waste index bits).
-func BestIndexBits(indices []uint8, rows, cols, valueBits int) int {
+func BestIndexBits(indices []uint8, rows, cols, valueBits int) (int, error) {
 	bestBits, bestSize := 0, int64(-1)
 	maxBits := bitstream.BitsFor(cols - 1)
 	if maxBits < 2 {
 		maxBits = 2
 	}
 	for bits := 2; bits <= maxBits; bits++ {
-		enc := EncodeCSR(indices, rows, cols, valueBits, bits)
+		enc, err := EncodeCSR(indices, rows, cols, valueBits, bits)
+		if err != nil {
+			return 0, err
+		}
 		if sz := enc.SizeBits(); bestSize < 0 || sz < bestSize {
 			bestBits, bestSize = bits, sz
 		}
 	}
-	return bestBits
+	return bestBits, nil
 }

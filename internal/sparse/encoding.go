@@ -54,20 +54,39 @@ func (k Kind) String() string {
 var Kinds = []Kind{KindDense, KindCSR, KindBitMask, KindBitMaskIdxSync}
 
 // Encode builds the requested encoding for a cluster-index matrix.
-// CSR uses the size-optimal relative index width for the matrix.
-func Encode(kind Kind, indices []uint8, rows, cols, valueBits int) Encoding {
+// CSR uses the size-optimal relative index width for the matrix. An
+// unknown kind or an inconsistent shape is reported as an error rather
+// than a panic: encoding kinds and layer shapes arrive from CLI flags
+// and sweep configurations, which callers must be able to reject.
+func Encode(kind Kind, indices []uint8, rows, cols, valueBits int) (Encoding, error) {
 	switch kind {
 	case KindDense:
 		return EncodeDense(indices, rows, cols, valueBits)
 	case KindCSR:
-		ib := BestIndexBits(indices, rows, cols, valueBits)
+		ib, err := BestIndexBits(indices, rows, cols, valueBits)
+		if err != nil {
+			return nil, err
+		}
 		return EncodeCSR(indices, rows, cols, valueBits, ib)
 	case KindBitMask:
 		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{})
 	case KindBitMaskIdxSync:
 		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{IdxSync: true})
 	}
-	panic(fmt.Sprintf("sparse: unknown encoding kind %d", int(kind)))
+	return nil, fmt.Errorf("sparse: unknown encoding kind %d", int(kind))
+}
+
+// Must unwraps an (encoding, error) pair, panicking on error. It is for
+// call sites whose inputs are compile-time constants or already
+// validated — where an error truly is a programmer bug — mirroring
+// template.Must:
+//
+//	enc := sparse.Must(sparse.Encode(kind, idx, rows, cols, bits))
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // Dense is the unencoded pruned+clustered baseline: one cluster index per
@@ -79,14 +98,14 @@ type Dense struct {
 }
 
 // EncodeDense stores every index (including zeros) at valueBits each.
-func EncodeDense(indices []uint8, rows, cols, valueBits int) *Dense {
+func EncodeDense(indices []uint8, rows, cols, valueBits int) (*Dense, error) {
 	if len(indices) != rows*cols {
-		panic(fmt.Sprintf("sparse: EncodeDense %d indices != %d x %d", len(indices), rows, cols))
+		return nil, fmt.Errorf("sparse: EncodeDense: %d indices != %d x %d", len(indices), rows, cols)
 	}
 	return &Dense{
 		RowsN: rows, ColsN: cols, ValueBits: valueBits,
 		Values: bitstream.FromValues8("values", valueBits, indices),
-	}
+	}, nil
 }
 
 // Decode returns the stored indices.
@@ -99,14 +118,17 @@ func (e *Dense) Streams() []*bitstream.Stream { return []*bitstream.Stream{e.Val
 func (e *Dense) SizeBits() int64 { return e.Values.SizeBits() }
 
 // CloneEncoding deep-copies an encoding so fault injection can mutate the
-// copy while the pristine original is reused across trials.
-func CloneEncoding(e Encoding) Encoding {
+// copy while the pristine original is reused across trials. Encodings of
+// a type this package does not know how to copy are reported as an
+// error: a shallow copy would silently alias mutable streams across
+// trials, which is worse than failing the trial.
+func CloneEncoding(e Encoding) (Encoding, error) {
 	switch enc := e.(type) {
 	case *Dense:
 		return &Dense{
 			RowsN: enc.RowsN, ColsN: enc.ColsN, ValueBits: enc.ValueBits,
 			Values: enc.Values.Clone(),
-		}
+		}, nil
 	case *CSR:
 		return &CSR{
 			RowsN: enc.RowsN, ColsN: enc.ColsN,
@@ -114,7 +136,7 @@ func CloneEncoding(e Encoding) Encoding {
 			Values:   enc.Values.Clone(),
 			ColIndex: enc.ColIndex.Clone(),
 			RowCount: enc.RowCount.Clone(),
-		}
+		}, nil
 	case *BitMask:
 		out := &BitMask{
 			RowsN: enc.RowsN, ColsN: enc.ColsN, ValueBits: enc.ValueBits,
@@ -125,9 +147,9 @@ func CloneEncoding(e Encoding) Encoding {
 		if enc.Counters != nil {
 			out.Counters = enc.Counters.Clone()
 		}
-		return out
+		return out, nil
 	}
-	panic(fmt.Sprintf("sparse: CloneEncoding: unknown type %T", e))
+	return nil, fmt.Errorf("sparse: CloneEncoding: unknown encoding type %T", e)
 }
 
 // Mismatch compares an original and a decoded index matrix and returns

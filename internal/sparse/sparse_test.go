@@ -35,7 +35,7 @@ func equalU8(a, b []uint8) bool {
 
 func TestCSRRoundTrip(t *testing.T) {
 	idx := randomIndices(20, 50, 0.8, 4, 1)
-	enc := EncodeCSR(idx, 20, 50, 4, 4)
+	enc := Must(EncodeCSR(idx, 20, 50, 4, 4))
 	if !equalU8(enc.Decode(), idx) {
 		t.Fatal("CSR round trip failed")
 	}
@@ -44,7 +44,7 @@ func TestCSRRoundTrip(t *testing.T) {
 func TestCSRRoundTripPaddingHeavy(t *testing.T) {
 	// 2-bit relative indices with long gaps force many padding entries.
 	idx := randomIndices(10, 200, 0.97, 4, 2)
-	enc := EncodeCSR(idx, 10, 200, 4, 2)
+	enc := Must(EncodeCSR(idx, 10, 200, 4, 2))
 	if !equalU8(enc.Decode(), idx) {
 		t.Fatal("padded CSR round trip failed")
 	}
@@ -68,7 +68,7 @@ func TestCSRRoundTripProperty(t *testing.T) {
 		sparsity := float64(sp%90+5) / 100
 		indexBits := int(ibSeed%5) + 2
 		idx := randomIndices(8, 32, sparsity, 4, uint64(seed))
-		enc := EncodeCSR(idx, 8, 32, 4, indexBits)
+		enc := Must(EncodeCSR(idx, 8, 32, 4, indexBits))
 		return equalU8(enc.Decode(), idx)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -79,7 +79,7 @@ func TestCSRRoundTripProperty(t *testing.T) {
 func TestCSRDenseMatrix(t *testing.T) {
 	// Zero sparsity: every element non-zero.
 	idx := randomIndices(5, 5, 0, 3, 2)
-	enc := EncodeCSR(idx, 5, 5, 3, 3)
+	enc := Must(EncodeCSR(idx, 5, 5, 3, 3))
 	if !equalU8(enc.Decode(), idx) {
 		t.Fatal("dense CSR round trip failed")
 	}
@@ -90,7 +90,7 @@ func TestCSRDenseMatrix(t *testing.T) {
 
 func TestCSREmptyMatrix(t *testing.T) {
 	idx := make([]uint8, 30)
-	enc := EncodeCSR(idx, 5, 6, 4, 4)
+	enc := Must(EncodeCSR(idx, 5, 6, 4, 4))
 	if enc.Entries() != 0 {
 		t.Errorf("entries = %d, want 0", enc.Entries())
 	}
@@ -103,7 +103,7 @@ func TestCSRRowCounterFaultCascades(t *testing.T) {
 	// A corrupted row counter must misalign all subsequent rows — the
 	// paper's central vulnerability finding for CSR (Section 4.2).
 	idx := randomIndices(10, 20, 0.5, 4, 3)
-	enc := EncodeCSR(idx, 10, 20, 4, 5)
+	enc := Must(EncodeCSR(idx, 10, 20, 4, 5))
 	enc.RowCount.Set(2, enc.RowCount.Get(2)+1)
 	dec := enc.Decode()
 	// Rows 0-1 intact.
@@ -127,7 +127,7 @@ func TestCSRRowCounterFaultCascades(t *testing.T) {
 func TestCSRColIndexFaultRowLocal(t *testing.T) {
 	// A corrupted relative column index corrupts only its own row.
 	idx := randomIndices(10, 20, 0.5, 4, 4)
-	enc := EncodeCSR(idx, 10, 20, 4, 5)
+	enc := Must(EncodeCSR(idx, 10, 20, 4, 5))
 	// Find the first entry of row 5.
 	pos := 0
 	for r := 0; r < 5; r++ {
@@ -154,7 +154,7 @@ func TestCSRColIndexFaultRowLocal(t *testing.T) {
 func TestCSRValueFaultSingleWeight(t *testing.T) {
 	// A corrupted value affects exactly one reconstructed weight.
 	idx := randomIndices(6, 10, 0.5, 4, 5)
-	enc := EncodeCSR(idx, 6, 10, 4, 4)
+	enc := Must(EncodeCSR(idx, 6, 10, 4, 4))
 	orig := enc.Values.Get(0)
 	repl := orig + 1
 	if repl >= 16 {
@@ -171,7 +171,7 @@ func TestCSRDecodeRobustToGarbage(t *testing.T) {
 	// Saturate every row counter: decoder must not panic and must
 	// terminate.
 	idx := randomIndices(5, 8, 0.5, 4, 6)
-	enc := EncodeCSR(idx, 5, 8, 4, 3)
+	enc := Must(EncodeCSR(idx, 5, 8, 4, 3))
 	maxCount := uint64(1)<<uint(enc.RowCount.ElemBits) - 1
 	for r := 0; r < 5; r++ {
 		enc.RowCount.Set(r, maxCount)
@@ -181,10 +181,10 @@ func TestCSRDecodeRobustToGarbage(t *testing.T) {
 
 func TestBestIndexBitsMinimizes(t *testing.T) {
 	idx := randomIndices(20, 64, 0.9, 4, 7)
-	best := BestIndexBits(idx, 20, 64, 4)
-	bestSize := EncodeCSR(idx, 20, 64, 4, best).SizeBits()
+	best := Must(BestIndexBits(idx, 20, 64, 4))
+	bestSize := Must(EncodeCSR(idx, 20, 64, 4, best)).SizeBits()
 	for bits := 2; bits <= 7; bits++ {
-		if sz := EncodeCSR(idx, 20, 64, 4, bits).SizeBits(); sz < bestSize {
+		if sz := Must(EncodeCSR(idx, 20, 64, 4, bits)).SizeBits(); sz < bestSize {
 			t.Errorf("bits=%d size %d beats best=%d size %d", bits, sz, best, bestSize)
 		}
 	}
@@ -193,7 +193,7 @@ func TestBestIndexBitsMinimizes(t *testing.T) {
 func TestBitMaskRoundTrip(t *testing.T) {
 	idx := randomIndices(16, 64, 0.7, 4, 8)
 	for _, sync := range []bool{false, true} {
-		enc := EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{IdxSync: sync})
+		enc := Must(EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{IdxSync: sync}))
 		if !equalU8(enc.Decode(), idx) {
 			t.Fatalf("bitmask round trip failed (idxsync=%v)", sync)
 		}
@@ -204,7 +204,7 @@ func TestBitMaskRoundTripProperty(t *testing.T) {
 	f := func(seed uint16, sp uint8, sync bool) bool {
 		sparsity := float64(sp%100) / 100
 		idx := randomIndices(8, 40, sparsity, 5, uint64(seed))
-		enc := EncodeBitMask(idx, 8, 40, 5, BitMaskOptions{IdxSync: sync, MaskBlockBits: 64})
+		enc := Must(EncodeBitMask(idx, 8, 40, 5, BitMaskOptions{IdxSync: sync, MaskBlockBits: 64}))
 		return equalU8(enc.Decode(), idx)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -215,7 +215,7 @@ func TestBitMaskRoundTripProperty(t *testing.T) {
 func TestBitMaskFaultCascadesWithoutIdxSync(t *testing.T) {
 	// One mask bit flipped 0->1 misaligns all subsequent values.
 	idx := randomIndices(8, 64, 0.6, 4, 9)
-	enc := EncodeBitMask(idx, 8, 64, 4, BitMaskOptions{})
+	enc := Must(EncodeBitMask(idx, 8, 64, 4, BitMaskOptions{}))
 	// Flip the first zero mask bit.
 	flipAt := -1
 	for i := 0; i < enc.Mask.N; i++ {
@@ -251,7 +251,7 @@ func TestBitMaskIdxSyncConfinesFault(t *testing.T) {
 	// (Figure 4 of the paper).
 	const blockBits = 64
 	idx := randomIndices(8, 64, 0.6, 4, 10) // 512 weights = 8 blocks
-	enc := EncodeBitMask(idx, 8, 64, 4, BitMaskOptions{IdxSync: true, MaskBlockBits: blockBits})
+	enc := Must(EncodeBitMask(idx, 8, 64, 4, BitMaskOptions{IdxSync: true, MaskBlockBits: blockBits}))
 	// Flip a zero mask bit inside block 2.
 	flipAt := -1
 	for i := 2 * blockBits; i < 3*blockBits; i++ {
@@ -284,7 +284,7 @@ func TestBitMaskCounterFaultLocal(t *testing.T) {
 	// applied from the following block onward.
 	const blockBits = 64
 	idx := randomIndices(4, 64, 0.5, 4, 11)
-	enc := EncodeBitMask(idx, 4, 64, 4, BitMaskOptions{IdxSync: true, MaskBlockBits: blockBits})
+	enc := Must(EncodeBitMask(idx, 4, 64, 4, BitMaskOptions{IdxSync: true, MaskBlockBits: blockBits}))
 	enc.Counters.Set(0, enc.Counters.Get(0)+1)
 	dec := enc.Decode()
 	for i := 0; i < blockBits; i++ {
@@ -305,8 +305,8 @@ func TestBitMaskCounterFaultLocal(t *testing.T) {
 
 func TestBitMaskSizeAccounting(t *testing.T) {
 	idx := randomIndices(16, 64, 0.75, 4, 12)
-	plain := EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{})
-	sync := EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{IdxSync: true})
+	plain := Must(EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{}))
+	sync := Must(EncodeBitMask(idx, 16, 64, 4, BitMaskOptions{IdxSync: true}))
 	if sync.SizeBits() <= plain.SizeBits() {
 		t.Error("IdxSync must cost extra bits")
 	}
@@ -323,7 +323,7 @@ func TestBitMaskSizeAccounting(t *testing.T) {
 
 func TestDenseRoundTrip(t *testing.T) {
 	idx := randomIndices(10, 10, 0.5, 6, 13)
-	enc := EncodeDense(idx, 10, 10, 6)
+	enc := Must(EncodeDense(idx, 10, 10, 6))
 	if !equalU8(enc.Decode(), idx) {
 		t.Fatal("dense round trip failed")
 	}
@@ -335,7 +335,7 @@ func TestDenseRoundTrip(t *testing.T) {
 func TestEncodeDispatch(t *testing.T) {
 	idx := randomIndices(8, 16, 0.6, 4, 14)
 	for _, k := range Kinds {
-		enc := Encode(k, idx, 8, 16, 4)
+		enc := Must(Encode(k, idx, 8, 16, 4))
 		if !equalU8(enc.Decode(), idx) {
 			t.Errorf("%v round trip failed", k)
 		}
@@ -361,9 +361,9 @@ func TestSparseEncodingsCompress(t *testing.T) {
 	// At high sparsity both sparse encodings beat dense storage — the
 	// premise of Table 2.
 	idx := randomIndices(64, 256, 0.9, 4, 15)
-	dense := Encode(KindDense, idx, 64, 256, 4).SizeBits()
-	csr := Encode(KindCSR, idx, 64, 256, 4).SizeBits()
-	bm := Encode(KindBitMask, idx, 64, 256, 4).SizeBits()
+	dense := Must(Encode(KindDense, idx, 64, 256, 4)).SizeBits()
+	csr := Must(Encode(KindCSR, idx, 64, 256, 4)).SizeBits()
+	bm := Must(Encode(KindBitMask, idx, 64, 256, 4)).SizeBits()
 	if csr >= dense {
 		t.Errorf("CSR %d >= dense %d at 90%% sparsity", csr, dense)
 	}
