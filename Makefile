@@ -1,7 +1,9 @@
 # Verify tiers for the MaxNVM reproduction.
 #
-#   make check   - tier 1: build + full test suite (the seed contract)
+#   make check   - tier 1: build + full test suite + vet + race pass on
+#                  the concurrency-heavy packages (the seed contract)
 #   make race    - tier 2: go vet + race detector on a fast test pass
+#   make cover   - per-package coverage floors on the core packages
 #   make fuzz    - short fuzz pass over the sparse decode targets
 #   make bench   - full benchmark harness (regenerates every figure)
 #   make all     - check + race
@@ -9,11 +11,17 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check build test race vet fuzz bench clean
+# Coverage floor (percent) enforced per package by `make cover` — per
+# package rather than aggregate so an untested package cannot hide
+# behind a well-tested one.
+COVER_FLOOR ?= 70
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry
+
+.PHONY: all check build test race race-fast vet cover fuzz bench clean
 
 all: check race
 
-check: build test
+check: build test vet race-fast
 
 build:
 	$(GO) build ./...
@@ -30,6 +38,28 @@ vet:
 race: vet
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/campaign/... ./internal/stats/...
+
+# The telemetry registry and the instrumented campaign engine are the
+# most concurrency-sensitive pieces; they get a dedicated race pass in
+# tier 1 so a data race cannot land even when the full race tier is
+# skipped.
+race-fast:
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/...
+
+cover:
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		profile=$$(mktemp); \
+		$(GO) test -coverprofile=$$profile ./$$pkg/ >/dev/null || { rm -f $$profile; exit 1; }; \
+		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		rm -f $$profile; \
+		if awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }'; then \
+			printf "ok   %-22s %6s%%  (floor $(COVER_FLOOR)%%)\n" $$pkg $$pct; \
+		else \
+			printf "FAIL %-22s %6s%%  below the $(COVER_FLOOR)%% floor\n" $$pkg $$pct; fail=1; \
+		fi; \
+	done; \
+	exit $$fail
 
 fuzz:
 	$(GO) test -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/sparse/

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ares"
 	"repro/internal/bitstream"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -250,14 +252,59 @@ func benchClustered(rows, cols int, sparsity float64, bits int, seed uint64) *qu
 	return quant.Cluster(m, bits, quant.ClusterOptions{Seed: seed})
 }
 
+// BenchmarkInjectMLC3 measures fault-injection throughput through the
+// telemetry instrumentation itself: per-op latency goes into a named
+// timer histogram, and the reported cells/s and faults/op come from the
+// envm.inject.* hot-path counters rather than locals, so the benchmark
+// doubles as an end-to-end check that the counters track real work.
 func BenchmarkInjectMLC3(b *testing.B) {
 	cfg := envm.StoreConfig{Tech: envm.CTT, BPC: 3}
 	a := bitstream.New(3 << 20)
 	src := stats.NewSource(1)
+	reg := telemetry.Default()
+	cells := reg.Counter("envm.inject.cells")
+	faults := reg.Counter("envm.inject.faults")
+	lat := reg.Timer("bench.inject.latency")
+	cells0, faults0 := cells.Value(), faults.Value()
 	b.SetBytes(3 << 17) // bytes of cell data per op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		envm.InjectArray(a, cfg, src)
+		lat.Since(start)
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if dCells := cells.Value() - cells0; dCells != int64(b.N)<<20 {
+		b.Fatalf("envm.inject.cells advanced by %d, want %d", dCells, int64(b.N)<<20)
+	} else if elapsed > 0 {
+		b.ReportMetric(float64(dCells)/elapsed, "cells/s")
+	}
+	b.ReportMetric(float64(faults.Value()-faults0)/float64(b.N), "faults/op")
+	b.ReportMetric(float64(lat.Hist().Quantile(0.5)), "p50-ns/op")
+}
+
+// BenchmarkTelemetryRecordingAllocFree proves the hot-path recording
+// primitives stay allocation-free — the property that makes it safe to
+// leave them inside InjectArray and the decoders. AllocsPerRun gives an
+// exact per-call figure; any nonzero count fails the benchmark.
+func BenchmarkTelemetryRecordingAllocFree(b *testing.B) {
+	reg := telemetry.Default()
+	c := reg.Counter("bench.allocfree.counter")
+	h := reg.Histogram("bench.allocfree.hist")
+	tm := reg.Timer("bench.allocfree.timer")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(42)
+		tm.Observe(time.Microsecond)
+	}); n != 0 {
+		b.Fatalf("telemetry recording allocates %v allocs/op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/ares"
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/envm"
@@ -50,7 +51,11 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (completed trials are appended)")
 	resume := flag.Bool("resume", false, "replay completed trials from -checkpoint before running the rest")
 	seed := flag.Uint64("seed", 1, "seed")
+	progress := flag.Duration("progress", 5*time.Second, "progress-line interval on stderr (0 = silent)")
+	tel := cliutil.AddFlags()
 	flag.Parse()
+	tel.Start()
+	defer tel.Dump()
 
 	tech, err := envm.ByName(*techName)
 	if err != nil {
@@ -127,7 +132,7 @@ func main() {
 			},
 		}, nil
 	}
-	c, err := campaign.New([]string{label}, run, campaign.Options{
+	opt := campaign.Options{
 		Seed:           *seed + 99,
 		MaxTrials:      *trials,
 		MinTrials:      *minTrials,
@@ -136,7 +141,12 @@ func main() {
 		TrialTimeout:   *timeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
-	})
+	}
+	if *progress > 0 {
+		opt.Progress = os.Stderr
+		opt.ProgressEvery = *progress
+	}
+	c, err := campaign.New([]string{label}, run, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -169,6 +179,7 @@ func main() {
 		} else {
 			fmt.Println("interrupted: partial aggregates above (set -checkpoint to make runs resumable)")
 		}
+		tel.Dump() // os.Exit skips the deferred dump
 		os.Exit(130)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/cliutil"
 	"repro/internal/exper"
 )
 
@@ -50,7 +51,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "fig5 per-trial deadline (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "fig5 campaign JSONL checkpoint path")
 	resume := flag.Bool("resume", false, "resume the fig5 campaign from -checkpoint")
+	progress := flag.Duration("progress", 0, "fig5 campaign progress-line interval on stderr (0 = silent)")
+	tel := cliutil.AddFlags()
 	flag.Parse()
+	tel.Start()
+	defer tel.Dump()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: maxnvm [flags] <fig1|fig2|table2|itn|fig5|fig6|fig8|fig9|fig10|fig11|table4|table5|perlayer|ablations|headlines|all>...")
@@ -84,11 +89,16 @@ func main() {
 		Checkpoint:   *checkpoint,
 		Resume:       *resume,
 	}
+	if *progress > 0 {
+		campaignOpt.Progress = os.Stderr
+		campaignOpt.ProgressEvery = *progress
+	}
 
 	var run func(name string)
 	run = func(name string) {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "maxnvm: interrupted")
+			tel.Dump() // os.Exit skips the deferred dump
 			os.Exit(130)
 		}
 		w := os.Stdout
@@ -103,6 +113,7 @@ func main() {
 			if err := env.Fig5Campaign(ctx, w, campaignOpt); err != nil {
 				if ctx.Err() != nil {
 					fmt.Fprintln(os.Stderr, "fig5: interrupted")
+					tel.Dump()
 					os.Exit(130)
 				}
 				fmt.Fprintln(os.Stderr, "fig5:", err)

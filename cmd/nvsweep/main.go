@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/envm"
 	"repro/internal/nvsim"
 )
@@ -46,7 +47,11 @@ func main() {
 	resume := flag.Bool("resume", false, "replay completed points from -checkpoint before computing the rest")
 	maxTrials := flag.Int("max-trials", 1, "samples per organization (the analytic model is deterministic; >1 only re-verifies)")
 	ciTarget := flag.Float64("ci-target", 0, "early-stop CI half-width target when -max-trials > 1")
+	progress := flag.Duration("progress", 0, "progress-line interval on stderr (0 = silent)")
+	tel := cliutil.AddFlags()
 	flag.Parse()
+	tel.Start()
+	defer tel.Dump()
 
 	var tech envm.Tech
 	var err error
@@ -123,7 +128,7 @@ func main() {
 			},
 		}, nil
 	}
-	c, err := campaign.New(labels, run, campaign.Options{
+	opt := campaign.Options{
 		Seed:           1,
 		MaxTrials:      *maxTrials,
 		CITarget:       *ciTarget,
@@ -131,7 +136,12 @@ func main() {
 		TrialTimeout:   *timeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
-	})
+	}
+	if *progress > 0 {
+		opt.Progress = os.Stderr
+		opt.ProgressEvery = *progress
+	}
+	c, err := campaign.New(labels, run, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -200,6 +210,7 @@ func main() {
 		} else {
 			fmt.Println("interrupted: partial sweep above (set -checkpoint to make sweeps resumable)")
 		}
+		tel.Dump() // os.Exit skips the deferred dump
 		os.Exit(130)
 	}
 }

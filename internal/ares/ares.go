@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/envm"
@@ -208,6 +209,7 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 	if err := cfg.Validate(); err != nil {
 		return st, nil, err
 	}
+	injectStart := time.Now()
 	clone, err := sparse.CloneEncoding(enc)
 	if err != nil {
 		return st, nil, err
@@ -235,7 +237,10 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
 		}
 	}
+	met.inject.Since(injectStart)
+	decodeStart := time.Now()
 	decoded := clone.Decode()
+	met.decode.Since(decodeStart)
 	if len(orig) != len(decoded) {
 		return st, nil, fmt.Errorf("ares: %d original indices vs %d decoded", len(orig), len(decoded))
 	}

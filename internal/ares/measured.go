@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dnn"
 	"repro/internal/quant"
@@ -144,8 +145,11 @@ func (ev *MeasuredEvaluator) encodings(cfg Config) ([]sparse.Encoding, error) {
 	ev.encMu.Lock()
 	defer ev.encMu.Unlock()
 	if encs, ok := ev.encCache[key]; ok {
+		met.cacheHits.Inc()
 		return encs, nil
 	}
+	met.cacheMisses.Inc()
+	start := time.Now()
 	encs := make([]sparse.Encoding, len(ev.clustered))
 	for i, cl := range ev.clustered {
 		enc, err := EncodeLayer(cl, cfg)
@@ -154,6 +158,7 @@ func (ev *MeasuredEvaluator) encodings(cfg Config) ([]sparse.Encoding, error) {
 		}
 		encs[i] = enc
 	}
+	met.encode.Since(start)
 	ev.encCache[key] = encs
 	return encs, nil
 }
@@ -201,6 +206,7 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 	}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
+	evalStart := time.Now()
 	for i, cl := range ev.clustered {
 		layer := ev.Model.Layers[ev.layerIdx[i]]
 		for j, idx := range decodedLayers[i] {
@@ -209,6 +215,7 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 	}
 	delta := train.Error(ev.Model, ev.Test) - ev.BaselineErr
 	ev.Model.RestoreWeights(ev.snap)
+	met.eval.Since(evalStart)
 	if delta < 0 {
 		delta = 0
 	}

@@ -1,0 +1,30 @@
+package ares
+
+// Pipeline telemetry: per-phase timers over the trial pipeline
+// (encode -> inject -> decode -> eval) and the encoding-cache hit/miss
+// counters, recorded into telemetry.Default(). The handles are resolved
+// once at package init; recording on the trial hot path is
+// allocation-free (see internal/telemetry).
+//
+// Metric names:
+//
+//	ares.phase.encode    time spent building pristine encodings (ns)
+//	ares.phase.inject    time in clone+inject+ECC per trial (ns)
+//	ares.phase.decode    time decoding corrupted structures (ns)
+//	ares.phase.eval      time in apply-weights + inference (ns)
+//	ares.enccache.hits   encoding-cache hits
+//	ares.enccache.misses encoding-cache misses (encodes performed)
+
+import "repro/internal/telemetry"
+
+var met = struct {
+	encode, inject, decode, eval *telemetry.Timer
+	cacheHits, cacheMisses       *telemetry.Counter
+}{
+	encode:      telemetry.Default().Timer("ares.phase.encode"),
+	inject:      telemetry.Default().Timer("ares.phase.inject"),
+	decode:      telemetry.Default().Timer("ares.phase.decode"),
+	eval:        telemetry.Default().Timer("ares.phase.eval"),
+	cacheHits:   telemetry.Default().Counter("ares.enccache.hits"),
+	cacheMisses: telemetry.Default().Counter("ares.enccache.misses"),
+}

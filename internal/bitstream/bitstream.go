@@ -109,6 +109,18 @@ func (a *Array) SetBits(off, n int, v uint64) {
 	}
 }
 
+// Bytes returns the packed bits as a byte slice of ceil(Len/8) bytes,
+// little-endian bit order (bit i of the array is bit i%8 of byte i/8);
+// trailing pad bits are zero. It gives golden-vector tests and external
+// serialization a stable wire view of the array.
+func (a *Array) Bytes() []byte {
+	out := make([]byte, (a.nbits+7)/8)
+	for i := range out {
+		out[i] = byte(a.words[i/8] >> (uint(i%8) * 8))
+	}
+	return out
+}
+
 // PopCount returns the number of set bits.
 func (a *Array) PopCount() int {
 	n := 0

@@ -34,9 +34,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Trial identifies one Monte Carlo cell: a config (by ID), a trial index
@@ -144,6 +146,17 @@ type Options struct {
 	Resume bool
 	// Log, when non-nil, receives one progress line per config completion.
 	Log io.Writer
+	// Progress, when non-nil, receives a periodic status line while the
+	// campaign runs (covered/scheduled trials, trials/s, ETA, worst
+	// per-config CI half-width) every ProgressEvery (default 5s).
+	Progress io.Writer
+	// ProgressEvery is the interval between progress lines (default 5s;
+	// only meaningful with Progress set).
+	ProgressEvery time.Duration
+	// Metrics selects the telemetry registry the engine records into
+	// (trial counters, trial latency, checkpoint flush latency, early-stop
+	// decisions). Nil means telemetry.Default().
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -236,6 +249,7 @@ type Campaign struct {
 	order    []string
 	preload  map[trialKey]*Record
 	ckpt     *checkpointWriter
+	met      *engineMetrics
 	statesMu sync.Mutex // guards configState.stopped reads from workers
 }
 
@@ -267,11 +281,16 @@ func New(configs []string, run RunFunc, opt Options) (*Campaign, error) {
 		}
 		seen[id] = true
 	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
 	c := &Campaign{
 		configs: append([]string(nil), configs...),
 		run:     run,
 		opt:     opt,
 		state:   map[string]*configState{},
+		met:     newEngineMetrics(reg),
 	}
 	for _, id := range c.configs {
 		c.state[id] = &configState{name: id, extra: map[string]float64{}, pending: map[int]*Record{}}
@@ -293,7 +312,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	res := &Result{}
 
 	if c.opt.CheckpointPath != "" {
-		w, err := openCheckpoint(c.opt.CheckpointPath, c.opt.Seed, c.opt.Resume)
+		w, err := openCheckpoint(c.opt.CheckpointPath, c.opt.Seed, c.opt.Resume, c.met)
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +322,21 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 
 	// Phase 1: replay checkpointed outcomes in deterministic order.
 	res.Reused = c.replayPreloaded()
+
+	// Periodic progress reporting (opt-in). Run must not return while the
+	// reporter can still write, so it is joined after stop closes (defers
+	// run LIFO: close, then wait).
+	var done atomic.Int64
+	if c.opt.Progress != nil {
+		stopProgress := make(chan struct{})
+		progDone := make(chan struct{})
+		go func() {
+			defer close(progDone)
+			c.progressLoop(stopProgress, c.opt.Progress, &done, res.Reused)
+		}()
+		defer func() { <-progDone }()
+		defer close(stopProgress)
+	}
 
 	// Phase 2: execute the remaining trials through the worker pool.
 	specs := make(chan Trial)
@@ -323,6 +357,7 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 
 	for rec := range results {
 		res.Executed++
+		done.Add(1)
 		if c.ckpt != nil {
 			if err := c.ckpt.Append(rec); err != nil && c.opt.Log != nil {
 				fmt.Fprintf(c.opt.Log, "campaign: checkpoint write failed: %v\n", err)
@@ -420,11 +455,24 @@ func (c *Campaign) worker(ctx context.Context, specs <-chan Trial, results chan<
 
 // attempt runs one trial with up to 1+Retries attempts. A nil return
 // means the campaign context was cancelled and the trial is unfinished.
-func (c *Campaign) attempt(ctx context.Context, spec Trial) *Record {
+// The returned record (success or terminal failure) is folded into the
+// engine metrics together with the trial's wall time including retries;
+// cancelled trials record nothing.
+func (c *Campaign) attempt(ctx context.Context, spec Trial) (rec *Record) {
+	start := time.Now()
+	c.met.started.Inc()
+	defer func() {
+		if rec != nil {
+			c.met.observeOutcome(rec, start)
+		}
+	}()
 	var lastErr error
 	attempts := 0
 	for attempts <= c.opt.Retries {
 		attempts++
+		if attempts > 1 {
+			c.met.retried.Inc()
+		}
 		sample, err := c.runOne(ctx, spec)
 		if err == nil {
 			return &Record{Config: spec.Config, Trial: spec.Index, Seed: spec.Seed, Sample: &sample}
@@ -548,6 +596,7 @@ func (c *Campaign) fold(rec *Record) {
 			st.agg.CIHalfWidth(c.opt.Confidence) <= c.opt.CITarget {
 			st.stopped = true
 			st.pending = map[int]*Record{}
+			c.met.earlyStops.Inc()
 			return
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // checkpointVersion is bumped on any incompatible format change.
@@ -52,25 +53,26 @@ type checkpointWriter struct {
 	mu  sync.Mutex
 	f   *os.File
 	buf *bufio.Writer
+	met *engineMetrics
 }
 
 // openCheckpoint opens (resume) or creates (fresh) the checkpoint file
 // and ensures the header is present and matches the campaign seed.
-func openCheckpoint(path string, seed uint64, resume bool) (*checkpointWriter, error) {
+func openCheckpoint(path string, seed uint64, resume bool, met *engineMetrics) (*checkpointWriter, error) {
 	if resume {
 		if _, err := os.Stat(path); err == nil {
 			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
 			}
-			return &checkpointWriter{f: f, buf: bufio.NewWriter(f)}, nil
+			return &checkpointWriter{f: f, buf: bufio.NewWriter(f), met: met}, nil
 		}
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
 	}
-	w := &checkpointWriter{f: f, buf: bufio.NewWriter(f)}
+	w := &checkpointWriter{f: f, buf: bufio.NewWriter(f), met: met}
 	line, _ := json.Marshal(headerLine{Campaign: &header{Version: checkpointVersion, Seed: seed}})
 	if _, err := w.buf.Write(append(line, '\n')); err != nil {
 		f.Close()
@@ -83,8 +85,10 @@ func openCheckpoint(path string, seed uint64, resume bool) (*checkpointWriter, e
 	return w, nil
 }
 
-// Append writes one record and flushes it to the OS.
+// Append writes one record and flushes it to the OS, recording flush
+// count and latency in the engine metrics.
 func (w *checkpointWriter) Append(rec *Record) error {
+	start := time.Now()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -94,7 +98,14 @@ func (w *checkpointWriter) Append(rec *Record) error {
 	if _, err := w.buf.Write(append(line, '\n')); err != nil {
 		return err
 	}
-	return w.buf.Flush()
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if w.met != nil {
+		w.met.ckptFlushes.Inc()
+		w.met.ckptLatency.Since(start)
+	}
+	return nil
 }
 
 // Close flushes and closes the file.

@@ -1,0 +1,66 @@
+// Package cliutil holds the flag plumbing shared by the repro CLIs:
+// the -metrics JSON telemetry dump and the -pprof profiling endpoint.
+// It exists so the three commands (faultsim, maxnvm, nvsweep) expose
+// identical observability surfaces without triplicating the wiring.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry carries the observability flag state of one CLI run.
+type Telemetry struct {
+	metricsPath string
+	pprofAddr   string
+	reg         *telemetry.Registry
+}
+
+// AddFlags registers -metrics and -pprof on the default flag set and
+// returns the handle the CLI uses after flag.Parse. The snapshot is
+// taken from telemetry.Default(), where all instrumented packages
+// record.
+func AddFlags() *Telemetry {
+	t := &Telemetry{reg: telemetry.Default()}
+	flag.StringVar(&t.metricsPath, "metrics", "",
+		"write a JSON telemetry snapshot (counters, gauges, latency percentiles) to this path on exit")
+	flag.StringVar(&t.pprofAddr, "pprof", "",
+		"serve net/http/pprof on this address, e.g. localhost:6060")
+	return t
+}
+
+// Start launches the pprof server when -pprof was given. Call once,
+// after flag.Parse. Startup failures are reported to stderr but do not
+// abort the run: profiling is auxiliary.
+func (t *Telemetry) Start() {
+	if t.pprofAddr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(t.pprofAddr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", t.pprofAddr)
+}
+
+// Dump writes the JSON snapshot when -metrics was given (no-op
+// otherwise). Call it on every exit path — including the SIGINT path,
+// where the campaign engine has already flushed and returned — so an
+// interrupted run still leaves its telemetry behind. Calling more than
+// once is safe; the last snapshot wins.
+func (t *Telemetry) Dump() {
+	if t.metricsPath == "" {
+		return
+	}
+	if err := t.reg.WriteJSONFile(t.metricsPath); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "metrics: snapshot written to %s\n", t.metricsPath)
+}

@@ -138,6 +138,8 @@ func InjectArray(a *bitstream.Array, cfg StoreConfig, src *stats.Source) int {
 		}
 	}
 	nCells := int(CellsFor(int64(a.Len()), cfg.BPC))
+	met.injectCalls.Inc()
+	met.injectCells.Add(int64(nCells))
 	// Below ~1e-18 per cell, the expected fault count over any physically
 	// meaningful array is zero; skip the scan entirely (this is the SLC
 	// regime).
@@ -145,6 +147,7 @@ func InjectArray(a *bitstream.Array, cfg StoreConfig, src *stats.Source) int {
 		return 0
 	}
 	faults := 0
+	candidates := int64(0)
 	logq := math.Log1p(-pMax)
 	i := 0
 	for {
@@ -163,6 +166,7 @@ func InjectArray(a *bitstream.Array, cfg StoreConfig, src *stats.Source) int {
 		if i >= nCells {
 			break
 		}
+		candidates++
 		sym := a.GetBits(i*cfg.BPC, cfg.BPC)
 		level := sym
 		if cfg.Gray {
@@ -185,6 +189,8 @@ func InjectArray(a *bitstream.Array, cfg StoreConfig, src *stats.Source) int {
 		}
 		i++
 	}
+	met.injectCandidates.Add(candidates)
+	met.injectFaults.Add(int64(faults))
 	return faults
 }
 

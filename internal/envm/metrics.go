@@ -1,0 +1,24 @@
+package envm
+
+// Hot-path telemetry for the fault injector. InjectArray is the single
+// hottest function in a campaign (it touches every candidate cell of
+// every stream of every trial), so counters are accumulated in locals
+// and published with one atomic Add per counter per call — never per
+// cell.
+//
+// Metric names:
+//
+//	envm.inject.calls       InjectArray invocations (incl. skipped scans)
+//	envm.inject.cells       cells covered by those scans
+//	envm.inject.candidates  cells actually visited by skip-sampling
+//	envm.inject.faults      faults applied
+import "repro/internal/telemetry"
+
+var met = struct {
+	injectCalls, injectCells, injectCandidates, injectFaults *telemetry.Counter
+}{
+	injectCalls:      telemetry.Default().Counter("envm.inject.calls"),
+	injectCells:      telemetry.Default().Counter("envm.inject.cells"),
+	injectCandidates: telemetry.Default().Counter("envm.inject.candidates"),
+	injectFaults:     telemetry.Default().Counter("envm.inject.faults"),
+}

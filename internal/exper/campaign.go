@@ -28,6 +28,11 @@ type CampaignOptions struct {
 	Checkpoint string
 	// Resume continues from an existing checkpoint at Checkpoint.
 	Resume bool
+	// Progress, when non-nil, receives a periodic status line (trial
+	// counts, trials/s, ETA, worst CI half-width) every ProgressEvery.
+	Progress io.Writer
+	// ProgressEvery is the reporting interval (engine default when 0).
+	ProgressEvery time.Duration
 }
 
 // Fig5Campaign regenerates Figure 5 through the campaign engine: the
@@ -82,6 +87,8 @@ func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions
 		TrialTimeout:   opt.TrialTimeout,
 		CheckpointPath: opt.Checkpoint,
 		Resume:         opt.Resume,
+		Progress:       opt.Progress,
+		ProgressEvery:  opt.ProgressEvery,
 	})
 	if err != nil {
 		return err

@@ -104,6 +104,7 @@ func (e *BitMask) Decode() []uint8 {
 	out := make([]uint8, n)
 	cursor := 0
 	var prefix uint64 // sum of counters over completed blocks
+	overruns := int64(0)
 	for i := 0; i < n; i++ {
 		if e.Counters != nil && i%e.MaskBlockBits == 0 && i > 0 {
 			block := i / e.MaskBlockBits
@@ -113,10 +114,14 @@ func (e *BitMask) Decode() []uint8 {
 		if e.Mask.Get(i) == 1 {
 			if cursor < e.Values.N {
 				out[i] = uint8(e.Values.Get(cursor))
+			} else {
+				overruns++
 			}
 			cursor++
 		}
 	}
+	met.bitmaskDecodes.Inc()
+	met.bitmaskOverruns.Add(overruns)
 	return out
 }
 

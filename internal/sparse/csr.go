@@ -107,6 +107,7 @@ func (e *CSR) Decode() []uint8 {
 	out := make([]uint8, e.RowsN*e.ColsN)
 	pos := 0 // global entry cursor into Values/ColIndex
 	total := e.Values.N
+	overruns := int64(0)
 	for r := 0; r < e.RowsN; r++ {
 		n := int(e.RowCount.Get(r))
 		prev := -1
@@ -115,6 +116,8 @@ func (e *CSR) Decode() []uint8 {
 			if pos < total {
 				v = uint32(e.Values.Get(pos))
 				gap = uint32(e.ColIndex.Get(pos))
+			} else {
+				overruns++
 			}
 			pos++
 			col := prev + int(gap) + 1
@@ -124,6 +127,8 @@ func (e *CSR) Decode() []uint8 {
 			}
 		}
 	}
+	met.csrDecodes.Inc()
+	met.csrOverruns.Add(overruns)
 	return out
 }
 

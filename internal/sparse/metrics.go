@@ -1,0 +1,25 @@
+package sparse
+
+// Decoder telemetry: decode invocations and overrun reads (a read past
+// the end of the stored Values/ColIndex streams, the visible footprint
+// of a misalignment cascade triggered by corrupted counters or mask
+// bits). Counts are accumulated in locals inside the decode loops and
+// published with a single atomic Add per decode — never per element.
+//
+// Metric names:
+//
+//	sparse.csr.decodes          CSR.Decode calls
+//	sparse.csr.overrun_reads    entry reads past the end of Values/ColIndex
+//	sparse.bitmask.decodes      BitMask.Decode calls
+//	sparse.bitmask.overrun_reads value reads past the end of Values
+import "repro/internal/telemetry"
+
+var met = struct {
+	csrDecodes, csrOverruns         *telemetry.Counter
+	bitmaskDecodes, bitmaskOverruns *telemetry.Counter
+}{
+	csrDecodes:      telemetry.Default().Counter("sparse.csr.decodes"),
+	csrOverruns:     telemetry.Default().Counter("sparse.csr.overrun_reads"),
+	bitmaskDecodes:  telemetry.Default().Counter("sparse.bitmask.decodes"),
+	bitmaskOverruns: telemetry.Default().Counter("sparse.bitmask.overrun_reads"),
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+// Snapshot / JSON export.
+//
+// A snapshot is a point-in-time copy of every registered metric. It is
+// taken metric-by-metric without stopping writers, so concurrent
+// recording can skew one histogram's count against its sum by the
+// in-flight observations — acceptable for monitoring output, and the
+// CLIs only dump after the campaign has drained anyway.
+//
+// JSON layout (stable; documented in DESIGN.md §10):
+//
+//	{
+//	  "taken_at": "2026-08-06T12:00:00Z",
+//	  "counters":   {"campaign.trials.completed": 120, ...},
+//	  "gauges":     {"campaign.workers": 8, ...},
+//	  "histograms": {
+//	    "campaign.trial.latency": {
+//	      "unit": "ns", "count": 120, "sum": 9300000000,
+//	      "min": 61000000, "max": 120000000, "mean": 77500000,
+//	      "p50": 74000000, "p95": 101000000, "p99": 118000000
+//	    }, ...
+//	  }
+//	}
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// HistogramSnapshot is the exported state of one histogram. Values are
+// in the histogram's unit (nanoseconds for timers); quantiles are
+// upper-bound estimates with the bucket resolution (~9%).
+type HistogramSnapshot struct {
+	Unit  string  `json:"unit,omitempty"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	TakenAt    time.Time                    `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// SnapshotOf renders one histogram's exported state.
+func SnapshotOf(h *Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:  h.Unit(),
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
+// Snapshot copies every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		TakenAt:    time.Now().UTC(),
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = SnapshotOf(h)
+	}
+	return snap
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile atomically-ish dumps the snapshot to path (truncating an
+// existing file). Used by the CLIs' -metrics flag on exit and on SIGINT.
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
