@@ -9,11 +9,19 @@
 // -resume replays them instead of re-executing, converging to the exact
 // aggregates an uninterrupted run would have produced.
 //
+// Lifetime mode (-lifetime-years) simulates an N-year deployment as
+// age -> inject -> correct -> rewrite epochs instead of a single
+// write-time campaign, with -protect spending a criticality-aware
+// protection budget and -scrub-interval overriding (or, at 0, asking
+// the scheduler for) the refresh period. Every epoch is its own
+// campaign config with its own checkpoint rows.
+//
 // Usage:
 //
 //	faultsim -tech MLC-CTT -encoding csr -bpc 3 -ecc rowcount,colidx -trials 20
 //	faultsim -trials 64 -ci-target 0.005 -checkpoint run.jsonl
 //	faultsim -resume -checkpoint run.jsonl -trials 64 -ci-target 0.005
+//	faultsim -tech MLC-RRAM -encoding csr -bpc 3 -lifetime-years 10 -protect 0.1
 package main
 
 import (
@@ -22,9 +30,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/ares"
@@ -33,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnn"
 	"repro/internal/envm"
+	"repro/internal/mitigate"
 	"repro/internal/sparse"
 	"repro/internal/train"
 )
@@ -52,6 +59,10 @@ func main() {
 	resume := flag.Bool("resume", false, "replay completed trials from -checkpoint before running the rest")
 	seed := flag.Uint64("seed", 1, "seed")
 	progress := flag.Duration("progress", 5*time.Second, "progress-line interval on stderr (0 = silent)")
+	lifetimeYears := flag.Float64("lifetime-years", 0, "simulate an N-year deployment as age->inject->correct->rewrite epochs (0 = write-time campaign)")
+	scrubInterval := flag.Float64("scrub-interval", 0, "years between scrub rewrites in lifetime mode (0 = let the scheduler choose, negative = never scrub)")
+	protect := flag.Float64("protect", 0, "criticality-aware protection budget: extra cells as a fraction of the baseline (0 = keep the -ecc/-slc flags as given)")
+	degrade := flag.Bool("degrade", false, "zero uncorrectable ECC blocks instead of decoding their corrupt bits")
 	tel := cliutil.AddFlags()
 	flag.Parse()
 	tel.Start()
@@ -88,6 +99,7 @@ func main() {
 	for _, s := range mustStreams(kind, "-slc", *slcList) {
 		cfg.Overrides[s] = ares.StreamPolicy{BPC: 1}
 	}
+	cfg.Degrade = *degrade
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +109,7 @@ func main() {
 
 	// SIGINT / SIGTERM cancel the campaign; completed trials are already
 	// flushed to the checkpoint and the partial aggregates still print.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.NotifyContext(context.Background())
 	defer stop()
 
 	fmt.Printf("config: %v\n", cfg)
@@ -115,23 +127,29 @@ func main() {
 	}
 	fmt.Printf("baseline error (pruned+clustered): %.4f\n", ev.BaselineErr)
 
-	label := cfg.String()
-	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
-		delta, st, err := ev.EvalTrial(ctx, cfg, t.Seed)
+	// Criticality-aware protection: rank streams by expected model-level
+	// damage on the freshly trained model, then spend the -protect budget
+	// down the ranking. The ranking is also what the scrub scheduler
+	// predicts over, so it is computed whenever either consumer needs it.
+	var ranks []mitigate.StreamRank
+	if *protect > 0 || (*lifetimeYears > 0 && *scrubInterval == 0) {
+		ranks, err = mitigate.RankModel(ev.Clustered(), cfg, mitigate.RankConfig{Seed: *seed + 7})
 		if err != nil {
-			return campaign.Sample{}, err
+			log.Fatal(err)
 		}
-		return campaign.Sample{
-			Value: delta,
-			Extra: map[string]float64{
-				"faults":    float64(st.Faults),
-				"corrected": float64(st.Corrected),
-				"detected":  float64(st.Detected),
-				"mismatch":  st.Mismatch,
-				"nsr":       st.ValueNSR,
-			},
-		}, nil
 	}
+	var plan mitigate.Plan
+	planned := false
+	if *protect > 0 {
+		if plan, err = mitigate.PlanProtection(ranks, tech, *protect); err != nil {
+			log.Fatal(err)
+		}
+		cfg = plan.Apply(cfg)
+		planned = true
+		fmt.Printf("protection plan: %v\n", plan)
+		fmt.Printf("protected config: %v\n", cfg)
+	}
+
 	opt := campaign.Options{
 		Seed:           *seed + 99,
 		MaxTrials:      *trials,
@@ -145,6 +163,41 @@ func main() {
 	if *progress > 0 {
 		opt.Progress = os.Stderr
 		opt.ProgressEvery = *progress
+	}
+
+	if *lifetimeYears > 0 {
+		code := runLifetime(ctx, ev, m, cfg, opt, lifetimeArgs{
+			years:      *lifetimeYears,
+			interval:   *scrubInterval,
+			ranks:      ranks,
+			plan:       plan,
+			planned:    planned,
+			checkpoint: *checkpoint,
+		})
+		if code != 0 {
+			tel.Dump() // os.Exit skips the deferred dump
+			os.Exit(code)
+		}
+		return
+	}
+
+	label := cfg.String()
+	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+		delta, st, err := ev.EvalTrial(ctx, cfg, t.Seed)
+		if err != nil {
+			return campaign.Sample{}, err
+		}
+		return campaign.Sample{
+			Value: delta,
+			Extra: map[string]float64{
+				"faults":    float64(st.Faults),
+				"corrected": float64(st.Corrected),
+				"detected":  float64(st.Detected),
+				"degraded":  float64(st.DegradedBlocks),
+				"mismatch":  st.Mismatch,
+				"nsr":       st.ValueNSR,
+			},
+		}, nil
 	}
 	c, err := campaign.New([]string{label}, run, opt)
 	if err != nil {
@@ -160,8 +213,8 @@ func main() {
 	fmt.Printf("\ncampaign: %d trials executed, %d reused from checkpoint, %d skipped by early stop (%.1fs)\n",
 		res.Executed, res.Reused, res.Skipped, time.Since(start).Seconds())
 	fmt.Printf("over %d fault maps:\n", cr.N)
-	fmt.Printf("  faults/map:        %.1f (ECC corrected %.1f, detected %.1f)\n",
-		cr.Extra["faults"], cr.Extra["corrected"], cr.Extra["detected"])
+	fmt.Printf("  faults/map:        %.1f (ECC corrected %.1f, detected %.1f, blocks degraded %.1f)\n",
+		cr.Extra["faults"], cr.Extra["corrected"], cr.Extra["detected"], cr.Extra["degraded"])
 	fmt.Printf("  index mismatch:    %.5f of weights\n", cr.Extra["mismatch"])
 	fmt.Printf("  weight NSR:        %.5g\n", cr.Extra["nsr"])
 	fmt.Printf("  error delta:       mean +%.4f ±%.4f (95%% CI), worst +%.4f\n", cr.Mean, cr.CIHalf, cr.Max)
@@ -182,6 +235,149 @@ func main() {
 		tel.Dump() // os.Exit skips the deferred dump
 		os.Exit(130)
 	}
+}
+
+// lifetimeArgs bundles the lifetime-mode inputs main hands to
+// runLifetime.
+type lifetimeArgs struct {
+	years, interval float64
+	ranks           []mitigate.StreamRank
+	plan            mitigate.Plan
+	planned         bool
+	checkpoint      string
+}
+
+// runLifetime simulates la.years of deployment: every campaign trial is
+// one full deployment (age -> inject -> correct -> rewrite per epoch),
+// and every epoch is its own campaign config with its own checkpoint
+// rows and aggregates. Returns the process exit code (0 on a clean,
+// bound-holding run).
+func runLifetime(ctx context.Context, ev *ares.MeasuredEvaluator, m *dnn.Model,
+	cfg ares.Config, opt campaign.Options, la lifetimeArgs) int {
+	bound := m.Meta.ErrorBound
+	lp := ares.LifetimePolicy{Years: la.years, FloorDelta: bound}
+	switch {
+	case la.interval > 0:
+		lp.ScrubIntervalYears = la.interval
+	case la.interval == 0:
+		// Ask the scheduler for the longest interval holding the ITN
+		// bound. When -protect did not run, predict over a bare plan
+		// mirroring the configuration as flagged.
+		pl := la.plan
+		if !la.planned {
+			pl = mitigate.Plan{
+				Policies:  make(map[string]ares.StreamPolicy, len(la.ranks)),
+				BlockBits: cfg.BlockBits(),
+			}
+			for _, r := range la.ranks {
+				pl.Policies[r.Name] = cfg.PolicyFor(r.Name)
+			}
+		}
+		dep := mitigate.Deployment{
+			Tech:          cfg.Tech,
+			LifetimeYears: la.years,
+			DeltaBound:    bound,
+			Sens:          ares.Sensitivity(m.Name),
+			Headroom:      ares.Headroom(m.Classes, ev.BaselineErr),
+		}
+		sp, err := mitigate.PlanScrub(dep, la.ranks, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sp.ScrubNeeded {
+			fmt.Printf("scrub schedule: every %.2f years (%d epochs, %d rewrites, %.2g of endurance), predicted delta %.4f\n",
+				sp.IntervalYears, sp.Epochs, sp.Rewrites, sp.EnduranceFrac, sp.PredictedDelta)
+		} else {
+			fmt.Printf("scrub schedule: none needed (predicted %.1f-year delta %.4f within the %.4f bound)\n",
+				la.years, sp.NoScrubDelta, bound)
+		}
+		if !sp.Feasible {
+			fmt.Printf("warning: no feasible schedule — %s\n", sp.Reason)
+		}
+		lp = sp.Policy(dep)
+	default:
+		// Negative interval: write once, never refresh.
+	}
+	if err := lp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if lp.Scrubbed() {
+		fmt.Printf("lifetime: %.1f years, scrubbing every %.2f years (%d epochs)\n",
+			la.years, lp.ScrubIntervalYears, lp.EpochCount())
+	} else {
+		fmt.Printf("lifetime: %.1f years unscrubbed, %d evaluation epochs\n", la.years, lp.EpochCount())
+	}
+
+	epochs := lp.EpochCount()
+	label := cfg.String()
+	configs, err := campaign.LifetimeConfigs(label, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := func(ctx context.Context, trial int, seed uint64) ([]campaign.Sample, error) {
+		ls, err := ev.LifetimeTrial(ctx, cfg, lp, seed)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]campaign.Sample, len(ls.Epochs))
+		for e, es := range ls.Epochs {
+			out[e] = campaign.Sample{
+				Value: es.DeltaErr,
+				Extra: map[string]float64{
+					"age":       es.AgeYears,
+					"faults":    float64(es.Stats.Faults),
+					"corrected": float64(es.Stats.Corrected),
+					"detected":  float64(es.Stats.Detected),
+					"degraded":  float64(es.Stats.DegradedBlocks),
+					"mismatch":  es.Stats.Mismatch,
+				},
+			}
+		}
+		return out, nil
+	}
+	c, err := campaign.New(configs, campaign.LifetimeRun(label, epochs, opt.Seed, sim), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, runErr := c.Run(ctx)
+	if runErr != nil && !res.Interrupted {
+		log.Fatal(runErr)
+	}
+
+	fmt.Printf("\nlifetime campaign: %d epoch-trials executed, %d reused from checkpoint, %d skipped (%.1fs)\n",
+		res.Executed, res.Reused, res.Skipped, time.Since(start).Seconds())
+	fmt.Printf("  %-5s  %-7s  %-24s  %-8s  %-14s  %-8s  %s\n",
+		"epoch", "age", "error delta (95% CI)", "faults", "ecc corr/det", "degraded", "vs bound")
+	worst := 0.0
+	for e, id := range configs {
+		cr := res.Config(id)
+		if cr.N == 0 {
+			fmt.Printf("  %-5d  (no completed trials)\n", e)
+			continue
+		}
+		if cr.Mean > worst {
+			worst = cr.Mean
+		}
+		fmt.Printf("  %-5d  %5.2fy  +%.4f ±%.4f%10s  %-8.1f  %6.1f/%-7.1f  %-8.1f  %s\n",
+			e, cr.Extra["age"], cr.Mean, cr.CIHalf, "",
+			cr.Extra["faults"], cr.Extra["corrected"], cr.Extra["detected"], cr.Extra["degraded"],
+			verdict(cr.Mean <= bound))
+		for _, te := range cr.Errors {
+			fmt.Printf("         failed trial: %v\n", te)
+		}
+	}
+	fmt.Printf("  ITN bound %.4f over the whole deployment -> %s (worst epoch mean +%.4f)\n",
+		bound, verdict(worst <= bound), worst)
+	if res.Interrupted {
+		if la.checkpoint != "" {
+			fmt.Printf("interrupted: partial aggregates above; rerun with -resume -checkpoint %s to finish\n", la.checkpoint)
+		} else {
+			fmt.Println("interrupted: partial aggregates above (set -checkpoint to make runs resumable)")
+		}
+		return 130
+	}
+	return 0
 }
 
 // mustStreams splits a comma-separated stream list and validates every

@@ -30,9 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/cliutil"
 	"repro/internal/exper"
@@ -67,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.NotifyContext(context.Background())
 	defer stop()
 
 	env := exper.NewEnv(*seed)

@@ -23,9 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
@@ -97,7 +95,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.NotifyContext(context.Background())
 	defer stop()
 
 	// One campaign config per organization point; the characterization is

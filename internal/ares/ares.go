@@ -54,6 +54,25 @@ type Config struct {
 	// RetentionYears evaluates the configuration after the given storage
 	// age (drift-widened fault rates; 0 = freshly programmed).
 	RetentionYears float64
+	// ECCBlockBits overrides the SEC-DED data-block size for protected
+	// streams (0 = the default ECCDataBits). Smaller blocks tolerate
+	// higher raw fault rates at more parity overhead; the mitigation
+	// planner (internal/mitigate) picks this per deployment.
+	ECCBlockBits int
+	// Degrade enables graceful decode degradation: an uncorrectable ECC
+	// block is zeroed before decoding — collapsing its weights toward the
+	// zero centroid and its metadata to an empty pattern — and counted in
+	// TrialStats.DegradedBlocks, instead of cascading corrupt bits
+	// through the decoder.
+	Degrade bool
+}
+
+// BlockBits resolves the SEC-DED data-block size for protected streams.
+func (c Config) BlockBits() int {
+	if c.ECCBlockBits > 0 {
+		return c.ECCBlockBits
+	}
+	return ECCDataBits
 }
 
 // PolicyFor resolves the policy of a named stream.
@@ -85,6 +104,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("ares: stream %q: %w", name, err)
 		}
 	}
+	if c.ECCBlockBits < 0 {
+		return fmt.Errorf("ares: negative ECC block size %d", c.ECCBlockBits)
+	}
+	if c.ECCBlockBits > 0 && c.ECCBlockBits < 8 {
+		return fmt.Errorf("ares: ECC block size %d below the 8-bit minimum", c.ECCBlockBits)
+	}
 	return nil
 }
 
@@ -102,6 +127,15 @@ func (c Config) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		s += fmt.Sprintf(",%s:%s", name, c.Overrides[name])
+	}
+	// Non-default mitigation settings are part of the identity; the
+	// suffixes appear only when set so every pre-existing cache key and
+	// checkpoint config ID is unchanged.
+	if c.ECCBlockBits > 0 {
+		s += fmt.Sprintf(",blk%d", c.ECCBlockBits)
+	}
+	if c.Degrade {
+		s += ",degrade"
 	}
 	return s + "]"
 }
@@ -135,7 +169,7 @@ func Cost(enc sparse.Encoding, cfg Config) []StreamCost {
 		p := cfg.PolicyFor(s.Name)
 		sc := StreamCost{Name: s.Name, BPC: p.BPC, ECC: p.ECC, DataBits: s.SizeBits()}
 		if p.ECC {
-			code := ecc.NewBlockCode(ECCDataBits)
+			code := ecc.NewBlockCode(cfg.BlockBits())
 			sc.ParityBits = code.ParityBits(int(sc.DataBits))
 		}
 		sc.Cells = envm.CellsFor(sc.TotalBits(), p.BPC)
@@ -176,6 +210,9 @@ type TrialStats struct {
 	ValueNSR float64
 	// Mismatch is the fraction of positions with a different index.
 	Mismatch float64
+	// DegradedBlocks counts uncorrectable ECC blocks that were zeroed by
+	// the graceful-degradation path (Config.Degrade); always 0 otherwise.
+	DegradedBlocks int
 }
 
 // RunTrial clones a pristine encoding, injects faults per cfg into every
@@ -226,13 +263,8 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 		sc := cfg.StoreConfig(p)
 		ssrc := src.Fork(uint64(i) + 1)
 		if p.ECC {
-			code := ecc.NewBlockCode(ECCDataBits)
-			prot := code.Protect(s.Bits)
-			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
-			st.Faults += envm.InjectArray(prot.Parity.Bits, sc, ssrc.Fork(2))
-			res := prot.Correct()
-			st.Corrected += res.Corrected
-			st.Detected += res.Detected
+			prot := ecc.NewBlockCode(cfg.BlockBits()).Protect(s.Bits)
+			injectProtected(prot, sc, cfg.Degrade, ssrc, &st)
 		} else {
 			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
 		}
@@ -246,6 +278,28 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 	}
 	fillCorruption(&st, orig, decoded, centroids)
 	return st, decoded, nil
+}
+
+// injectProtected injects faults into a protected stream's data and
+// parity cells, runs SEC-DED correction, and — when degrade is set —
+// zeroes every uncorrectable block instead of letting its corrupt bits
+// reach the decoder. Shared by the per-trial path and the lifetime
+// epoch loop; the data/parity fork order is the seed contract.
+func injectProtected(prot *ecc.Protected, sc envm.StoreConfig, degrade bool, src *stats.Source, st *TrialStats) {
+	st.Faults += envm.InjectArray(prot.Data, sc, src)
+	st.Faults += envm.InjectArray(prot.Parity.Bits, sc, src.Fork(2))
+	rep := prot.CorrectReport()
+	st.Corrected += rep.Corrected
+	st.Detected += rep.Detected
+	met.eccCorrected.Add(int64(rep.Corrected))
+	met.eccDetected.Add(int64(rep.Detected))
+	if degrade && len(rep.Bad) > 0 {
+		for _, b := range rep.Bad {
+			prot.ZeroBlock(b)
+		}
+		st.DegradedBlocks += len(rep.Bad)
+		met.degradedBlocks.Add(int64(len(rep.Bad)))
+	}
 }
 
 // fillCorruption computes the corruption statistics between original and

@@ -204,6 +204,25 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 	if err := ctx.Err(); err != nil {
 		return 0, agg, err
 	}
+	delta, err := ev.MeasureDecoded(decodedLayers)
+	return delta, agg, err
+}
+
+// MeasureDecoded applies per-layer decoded cluster indices to the live
+// model, measures the classification-error delta against the baseline
+// (clamped at 0), and restores the pristine weights. It is the shared
+// inference tail of EvalTrial and LifetimeTrial; concurrent calls are
+// serialized on the model.
+func (ev *MeasuredEvaluator) MeasureDecoded(decodedLayers [][]uint8) (float64, error) {
+	if len(decodedLayers) != len(ev.clustered) {
+		return 0, fmt.Errorf("ares: %d decoded layers vs %d clustered", len(decodedLayers), len(ev.clustered))
+	}
+	for i, cl := range ev.clustered {
+		if len(decodedLayers[i]) != len(cl.Indices) {
+			return 0, fmt.Errorf("ares: layer %d: %d decoded indices vs %d weights",
+				i, len(decodedLayers[i]), len(cl.Indices))
+		}
+	}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	evalStart := time.Now()
@@ -219,7 +238,7 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 	if delta < 0 {
 		delta = 0
 	}
-	return delta, agg, nil
+	return delta, nil
 }
 
 func (ev *MeasuredEvaluator) totalWeights() int {

@@ -14,17 +14,36 @@ package ares
 //	ares.phase.eval      time in apply-weights + inference (ns)
 //	ares.enccache.hits   encoding-cache hits
 //	ares.enccache.misses encoding-cache misses (encodes performed)
+//
+// Error-mitigation events (the lifetime subsystem, internal/mitigate):
+//
+//	ecc.corrected            blocks repaired by SEC-DED across all trials
+//	ecc.detected             uncorrectable blocks reported by SEC-DED
+//	mitigate.degrade.blocks  uncorrectable blocks zeroed by graceful decode
+//	mitigate.scrub.epochs    lifetime epochs simulated
+//	mitigate.scrub.rewrites  scrub rewrites performed (endurance spend)
+//	mitigate.floor.violations lifetime trials whose delta breached the floor
 
 import "repro/internal/telemetry"
 
 var met = struct {
 	encode, inject, decode, eval *telemetry.Timer
 	cacheHits, cacheMisses       *telemetry.Counter
+	eccCorrected, eccDetected    *telemetry.Counter
+	degradedBlocks               *telemetry.Counter
+	scrubEpochs, scrubRewrites   *telemetry.Counter
+	floorViolations              *telemetry.Counter
 }{
-	encode:      telemetry.Default().Timer("ares.phase.encode"),
-	inject:      telemetry.Default().Timer("ares.phase.inject"),
-	decode:      telemetry.Default().Timer("ares.phase.decode"),
-	eval:        telemetry.Default().Timer("ares.phase.eval"),
-	cacheHits:   telemetry.Default().Counter("ares.enccache.hits"),
-	cacheMisses: telemetry.Default().Counter("ares.enccache.misses"),
+	encode:          telemetry.Default().Timer("ares.phase.encode"),
+	inject:          telemetry.Default().Timer("ares.phase.inject"),
+	decode:          telemetry.Default().Timer("ares.phase.decode"),
+	eval:            telemetry.Default().Timer("ares.phase.eval"),
+	cacheHits:       telemetry.Default().Counter("ares.enccache.hits"),
+	cacheMisses:     telemetry.Default().Counter("ares.enccache.misses"),
+	eccCorrected:    telemetry.Default().Counter("ecc.corrected"),
+	eccDetected:     telemetry.Default().Counter("ecc.detected"),
+	degradedBlocks:  telemetry.Default().Counter("mitigate.degrade.blocks"),
+	scrubEpochs:     telemetry.Default().Counter("mitigate.scrub.epochs"),
+	scrubRewrites:   telemetry.Default().Counter("mitigate.scrub.rewrites"),
+	floorViolations: telemetry.Default().Counter("mitigate.floor.violations"),
 }

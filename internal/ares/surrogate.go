@@ -172,6 +172,29 @@ func LambdaEff(bits int64, sc envm.StoreConfig, eccOn bool) float64 {
 	return lambdaEff(bits, sc, eccOn)
 }
 
+// LambdaEffWithBlock is LambdaEff at an explicit SEC-DED data-block size
+// (0 = ECCDataBits) — the mitigation planner's knob: shorter blocks trade
+// parity overhead for a smaller >=2-faults-per-block residual.
+func LambdaEffWithBlock(bits int64, sc envm.StoreConfig, eccOn bool, blockBits int) float64 {
+	p := sc.FaultMap().TotalRate()
+	cells := float64(envm.CellsFor(bits, sc.BPC))
+	if !eccOn {
+		return cells * p
+	}
+	if blockBits <= 0 {
+		blockBits = ECCDataBits
+	}
+	code := ecc.NewBlockCode(blockBits)
+	blocks := float64(code.Blocks(int(bits)))
+	if blocks == 0 {
+		return 0
+	}
+	lb := cells / blocks * p
+	// P(>=2 faults in a block) for Poisson(lb).
+	p2 := 1 - math.Exp(-lb) - lb*math.Exp(-lb)
+	return blocks * p2
+}
+
 // ProbeStreamDamage measures the per-event corruption of one stream of an
 // encoded layer under the given policy by forcing fault events and
 // decoding (see probeDamage). Damage is tech-independent: it depends only
@@ -187,21 +210,7 @@ func ProbeStreamDamage(enc sparse.Encoding, streamIdx int, cl *quant.Clustered, 
 // counted as one event (of roughly double damage, folded into the probe
 // which forces two faults for ECC streams).
 func lambdaEff(bits int64, sc envm.StoreConfig, eccOn bool) float64 {
-	p := sc.FaultMap().TotalRate()
-	cells := float64(envm.CellsFor(bits, sc.BPC))
-	if !eccOn {
-		return cells * p
-	}
-	code := ecc.NewBlockCode(ECCDataBits)
-	blocks := float64(code.Blocks(int(bits)))
-	if blocks == 0 {
-		return 0
-	}
-	cellsPerBlock := cells / blocks
-	lb := cellsPerBlock * p
-	// P(>=2 faults in a block) for Poisson(lb).
-	p2 := 1 - math.Exp(-lb) - lb*math.Exp(-lb)
-	return blocks * p2
+	return LambdaEffWithBlock(bits, sc, eccOn, ECCDataBits)
 }
 
 // probeDamage forces fault events into clones of the encoding and

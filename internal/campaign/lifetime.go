@@ -1,0 +1,119 @@
+package campaign
+
+// Lifetime scenarios. A deployment-lifetime simulation produces one
+// sample per scrub epoch, but the engine's unit of work is
+// (config x trial). The adapter here maps each epoch to its own config
+// ID — "<label>@epochN" — so every epoch gets its own aggregate, its
+// own confidence interval / early stop, and its own checkpoint rows,
+// while one underlying simulation per trial index serves all of its
+// epoch configs: the epoch loop runs once per seed, not once per epoch.
+//
+// Seeding: every epoch config of trial t resolves to the SAME simulation
+// seed TrialSeed(base, label, t), keyed on the base label rather than
+// the epoch ID. That is what makes the per-epoch rows of one trial
+// mutually consistent — they are different read-outs of one simulated
+// deployment — and it keeps checkpoints resumable: a resumed run
+// replays whichever epoch rows completed and recomputes the rest from
+// the same simulation.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// epochSep joins a lifetime label with an epoch ordinal. Labels that
+// already contain it are rejected by LifetimeConfigs.
+const epochSep = "@epoch"
+
+// EpochID returns the campaign config ID of one lifetime epoch.
+func EpochID(label string, epoch int) string {
+	return fmt.Sprintf("%s%s%d", label, epochSep, epoch)
+}
+
+// ParseEpochID splits an epoch config ID back into (label, epoch).
+func ParseEpochID(id string) (label string, epoch int, ok bool) {
+	i := strings.LastIndex(id, epochSep)
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(id[i+len(epochSep):])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return id[:i], n, true
+}
+
+// LifetimeConfigs enumerates the epoch config IDs of one lifetime
+// scenario, in age order.
+func LifetimeConfigs(label string, epochs int) ([]string, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("campaign: lifetime scenario needs >= 1 epoch, got %d", epochs)
+	}
+	if strings.Contains(label, epochSep) {
+		return nil, fmt.Errorf("campaign: lifetime label %q contains the reserved %q separator", label, epochSep)
+	}
+	out := make([]string, epochs)
+	for e := range out {
+		out[e] = EpochID(label, e)
+	}
+	return out, nil
+}
+
+// LifetimeSim runs one full lifetime simulation for a trial index and
+// returns one sample per epoch (the slice length must equal the epoch
+// count). It must derive all randomness from seed and be safe for
+// concurrent invocation with distinct trials.
+type LifetimeSim func(ctx context.Context, trial int, seed uint64) ([]Sample, error)
+
+// LifetimeRun adapts sim into a RunFunc over LifetimeConfigs(label,
+// epochs). Each trial's simulation executes at most once — concurrent
+// epoch workers of the same trial block on it and then read their epoch
+// out of the memoized result. Context-cancellation failures are NOT
+// memoized, so a resumed or retried run re-executes the simulation
+// instead of replaying the interruption.
+func LifetimeRun(label string, epochs int, baseSeed uint64, sim LifetimeSim) RunFunc {
+	type memo struct {
+		mu      sync.Mutex
+		done    bool
+		samples []Sample
+		err     error
+	}
+	var mu sync.Mutex
+	memos := map[int]*memo{}
+	return func(ctx context.Context, t Trial) (Sample, error) {
+		lbl, epoch, ok := ParseEpochID(t.Config)
+		if !ok || lbl != label {
+			return Sample{}, fmt.Errorf("campaign: config %q is not an epoch of lifetime scenario %q", t.Config, label)
+		}
+		if epoch >= epochs {
+			return Sample{}, fmt.Errorf("campaign: epoch %d out of range (scenario has %d)", epoch, epochs)
+		}
+		mu.Lock()
+		m := memos[t.Index]
+		if m == nil {
+			m = &memo{}
+			memos[t.Index] = m
+		}
+		mu.Unlock()
+
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if !m.done {
+			samples, err := sim(ctx, t.Index, TrialSeed(baseSeed, label, t.Index))
+			if err != nil && ctx.Err() != nil {
+				return Sample{}, err // interrupted: leave the memo empty for a retry
+			}
+			if err == nil && len(samples) != epochs {
+				err = fmt.Errorf("campaign: lifetime simulation returned %d epochs, want %d", len(samples), epochs)
+			}
+			m.samples, m.err, m.done = samples, err, true
+		}
+		if m.err != nil {
+			return Sample{}, m.err
+		}
+		return m.samples[epoch], nil
+	}
+}

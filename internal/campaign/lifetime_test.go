@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEpochIDRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		label string
+		epoch int
+	}{
+		{"csr@MLC-RRAM[default:3]", 0},
+		{"x", 17},
+		{"with@epochish@inside-no", 3}, // LastIndex keeps the label intact
+	} {
+		id := EpochID(c.label, c.epoch)
+		label, epoch, ok := ParseEpochID(id)
+		if !ok || label != c.label || epoch != c.epoch {
+			t.Errorf("round trip %q/%d -> %q -> %q/%d/%v", c.label, c.epoch, id, label, epoch, ok)
+		}
+	}
+	if _, _, ok := ParseEpochID("no-separator"); ok {
+		t.Error("ParseEpochID accepted an ID without the separator")
+	}
+	if _, _, ok := ParseEpochID("x@epoch-3"); ok {
+		t.Error("ParseEpochID accepted a negative epoch")
+	}
+}
+
+func TestLifetimeConfigsValidation(t *testing.T) {
+	if _, err := LifetimeConfigs("ok", 0); err == nil {
+		t.Error("0 epochs accepted")
+	}
+	if _, err := LifetimeConfigs("bad@epoch3", 2); err == nil {
+		t.Error("label containing the separator accepted")
+	}
+	cfgs, err := LifetimeConfigs("run", 3)
+	if err != nil || len(cfgs) != 3 || cfgs[2] != "run@epoch2" {
+		t.Fatalf("LifetimeConfigs = %v, %v", cfgs, err)
+	}
+}
+
+// One simulation per trial serves every epoch config, and the outcome is
+// identical regardless of worker interleaving.
+func TestLifetimeRunMemoizesPerTrial(t *testing.T) {
+	const epochs, trials = 4, 6
+	var sims atomic.Int64
+	sim := func(ctx context.Context, trial int, seed uint64) ([]Sample, error) {
+		sims.Add(1)
+		out := make([]Sample, epochs)
+		for e := range out {
+			out[e] = Sample{Value: float64(trial*100+e) + float64(seed%97)/1000}
+		}
+		return out, nil
+	}
+	configs, err := LifetimeConfigs("life", epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(configs, LifetimeRun("life", epochs, 7, sim), Options{
+		Seed: 7, MaxTrials: trials, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sims.Load(); got != trials {
+		t.Fatalf("simulation executed %d times, want once per trial (%d)", got, trials)
+	}
+	for e, cfg := range configs {
+		cr := res.Config(cfg)
+		if cr.N != trials {
+			t.Fatalf("epoch %d has %d samples, want %d", e, cr.N, trials)
+		}
+		// Every trial contributes trial*100+e (+ seed noise), so epoch
+		// means are offset by exactly 1 from each other.
+		if e > 0 {
+			prev := res.Config(configs[e-1])
+			if diff := cr.Mean - prev.Mean; diff < 0.999 || diff > 1.001 {
+				t.Fatalf("epoch means not aligned per trial: %v vs %v", cr.Mean, prev.Mean)
+			}
+		}
+	}
+}
+
+// A checkpointed lifetime campaign resumes to identical aggregates with
+// per-epoch rows, and the resumed run re-simulates only what is missing.
+func TestLifetimeRunCheckpointResume(t *testing.T) {
+	const epochs, trials = 3, 4
+	path := filepath.Join(t.TempDir(), "life.jsonl")
+	mk := func(counter *atomic.Int64) RunFunc {
+		return LifetimeRun("life", epochs, 11, func(ctx context.Context, trial int, seed uint64) ([]Sample, error) {
+			counter.Add(1)
+			out := make([]Sample, epochs)
+			for e := range out {
+				out[e] = Sample{Value: float64(seed%1000)*0.001 + float64(e)}
+			}
+			return out, nil
+		})
+	}
+	configs, err := LifetimeConfigs("life", epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first atomic.Int64
+	c1, err := New(configs, mk(&first), Options{Seed: 11, MaxTrials: trials, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var second atomic.Int64
+	c2, err := New(configs, mk(&second), Options{Seed: 11, MaxTrials: trials, CheckpointPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Load() != 0 {
+		t.Fatalf("resume re-simulated %d trials despite a complete checkpoint", second.Load())
+	}
+	if res2.Reused != epochs*trials {
+		t.Fatalf("resume reused %d rows, want %d", res2.Reused, epochs*trials)
+	}
+	for _, cfg := range configs {
+		a, b := res1.Config(cfg), res2.Config(cfg)
+		if a.Mean != b.Mean || a.N != b.N {
+			t.Fatalf("config %q: resumed aggregate %v/%d != original %v/%d", cfg, b.Mean, b.N, a.Mean, a.N)
+		}
+	}
+}
+
+func TestLifetimeRunRejectsForeignConfigs(t *testing.T) {
+	run := LifetimeRun("mine", 2, 1, func(ctx context.Context, trial int, seed uint64) ([]Sample, error) {
+		return make([]Sample, 2), nil
+	})
+	for _, bad := range []string{"other@epoch0", "mine@epoch5", "mine"} {
+		if _, err := run(context.Background(), Trial{Config: bad, Index: 0, Seed: 1}); err == nil {
+			t.Errorf("config %q accepted", bad)
+		}
+	}
+}
+
+func TestLifetimeRunLengthMismatchIsTerminal(t *testing.T) {
+	run := LifetimeRun("x", 3, 1, func(ctx context.Context, trial int, seed uint64) ([]Sample, error) {
+		return make([]Sample, 2), nil // wrong length
+	})
+	if _, err := run(context.Background(), Trial{Config: EpochID("x", 0), Index: 0, Seed: 1}); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestLifetimeRunPropagatesSimErrors(t *testing.T) {
+	var calls atomic.Int64
+	run := LifetimeRun("x", 2, 1, func(ctx context.Context, trial int, seed uint64) ([]Sample, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("device on fire")
+	})
+	for e := 0; e < 2; e++ {
+		if _, err := run(context.Background(), Trial{Config: EpochID("x", e), Index: 0, Seed: 1}); err == nil {
+			t.Fatal("sim error swallowed")
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("terminal sim error re-executed: %d calls", calls.Load())
+	}
+}

@@ -5,11 +5,14 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/telemetry"
 )
@@ -26,12 +29,27 @@ type Telemetry struct {
 // taken from telemetry.Default(), where all instrumented packages
 // record.
 func AddFlags() *Telemetry {
+	return AddFlagsTo(flag.CommandLine)
+}
+
+// AddFlagsTo is AddFlags against an explicit flag set, so tests (and
+// CLIs with their own flag sets) can wire the observability surface
+// without touching the process-global flag.CommandLine.
+func AddFlagsTo(fs *flag.FlagSet) *Telemetry {
 	t := &Telemetry{reg: telemetry.Default()}
-	flag.StringVar(&t.metricsPath, "metrics", "",
+	fs.StringVar(&t.metricsPath, "metrics", "",
 		"write a JSON telemetry snapshot (counters, gauges, latency percentiles) to this path on exit")
-	flag.StringVar(&t.pprofAddr, "pprof", "",
+	fs.StringVar(&t.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address, e.g. localhost:6060")
 	return t
+}
+
+// NotifyContext returns a context cancelled on SIGINT or SIGTERM: the
+// shared graceful-shutdown contract of the repro CLIs (the campaign
+// engine flushes completed trials and returns partial aggregates when
+// it fires). The stop function releases the signal registration.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }
 
 // Start launches the pprof server when -pprof was given. Call once,

@@ -183,7 +183,23 @@ type CorrectionStats struct {
 // path of a memory controller: correction happens before the data is
 // handed to the consumer.
 func (p *Protected) Correct() CorrectionStats {
-	var st CorrectionStats
+	return p.CorrectReport().CorrectionStats
+}
+
+// CorrectOutcome extends CorrectionStats with the identities of the
+// uncorrectable blocks, so a decoder can degrade them (see ZeroBlock)
+// instead of consuming corrupt bits. CorrectionStats itself stays a
+// plain comparable pair.
+type CorrectOutcome struct {
+	CorrectionStats
+	// Bad lists the indices of blocks left with an uncorrectable
+	// (>= 2 bit) error, in ascending order; len(Bad) == Detected.
+	Bad []int
+}
+
+// CorrectReport is Correct plus the list of uncorrectable blocks.
+func (p *Protected) CorrectReport() CorrectOutcome {
+	var out CorrectOutcome
 	nBlocks := p.Code.Blocks(p.Data.Len())
 	for b := 0; b < nBlocks; b++ {
 		syndrome, overall := p.syndromeOf(b)
@@ -200,13 +216,41 @@ func (p *Protected) Correct() CorrectionStats {
 				i := base + p.Code.hammingBits
 				p.Parity.Set(i, p.Parity.Get(i)^1)
 			}
-			st.Corrected++
+			out.Corrected++
 		default:
 			// syndrome != 0 with even overall parity: double error.
-			st.Detected++
+			out.Detected++
+			out.Bad = append(out.Bad, b)
 		}
 	}
-	return st
+	return out
+}
+
+// ZeroBlock clears every data bit of block b and rewrites its parity.
+// This is the graceful-degradation primitive: an uncorrectable block is
+// forced to a known state — all-zero symbols, which decode to the zero
+// centroid / empty mask — instead of cascading corrupt bits through the
+// decoder.
+func (p *Protected) ZeroBlock(b int) {
+	lo, hi := p.blockRange(b)
+	for i := lo; i < hi; i += 64 {
+		n := hi - i
+		if n > 64 {
+			n = 64
+		}
+		p.Data.SetBits(i, n, 0)
+	}
+	p.writeParity(b)
+}
+
+// Reprotect recomputes the parity of every block from the current data.
+// It is the rewrite step of a scrub cycle: after correction the (possibly
+// still imperfect) data is reprogrammed and the code is made consistent
+// with it, so the next retention period starts from clean codewords.
+func (p *Protected) Reprotect() {
+	for b, n := 0, p.Code.Blocks(p.Data.Len()); b < n; b++ {
+		p.writeParity(b)
+	}
 }
 
 // correctPosition flips the codeword bit at 1-based position pos of block

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Custom technology definitions (the NVMExplorer-style workflow the
@@ -38,6 +39,9 @@ func LoadTech(r io.Reader) (Tech, error) {
 	if err := dec.Decode(&t); err != nil {
 		return Tech{}, fmt.Errorf("envm: parsing tech definition: %w", err)
 	}
+	if err := checkTechSketch(t); err != nil {
+		return Tech{}, err
+	}
 	applyTechDefaults(&t)
 	if err := t.Validate(); err != nil {
 		return Tech{}, err
@@ -54,12 +58,43 @@ func LoadTechs(r io.Reader) ([]Tech, error) {
 		return nil, fmt.Errorf("envm: parsing tech definitions: %w", err)
 	}
 	for i := range ts {
+		if err := checkTechSketch(ts[i]); err != nil {
+			return nil, fmt.Errorf("envm: definition %d: %w", i, err)
+		}
 		applyTechDefaults(&ts[i])
 		if err := ts[i].Validate(); err != nil {
 			return nil, fmt.Errorf("envm: definition %d: %w", i, err)
 		}
 	}
 	return ts, nil
+}
+
+// checkTechSketch rejects nonsense in the optional fields BEFORE the
+// defaults fill them in. Zero still means "use the default", but a NaN
+// or negative EnduranceCycles, RetentionFloorBase, sigma factor, fault
+// rate, or write parallelism is a broken definition, not a request for
+// the default — silently substituting one would mask the author's bug
+// (and a negative endurance would quietly disable every scrub budget
+// downstream).
+func checkTechSketch(t Tech) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MLC3FaultRate", t.MLC3FaultRate},
+		{"RetentionFloorBase", t.RetentionFloorBase},
+		{"Level0SigmaFactor", t.Level0SigmaFactor},
+		{"EnduranceCycles", t.EnduranceCycles},
+		{"WriteParallelism", float64(t.WriteParallelism)},
+	} {
+		if math.IsNaN(f.v) {
+			return fmt.Errorf("envm: tech %s: %s is NaN", t.Name, f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("envm: tech %s: %s %g must not be negative (omit or zero it for the default)", t.Name, f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // applyTechDefaults fills optional fields a prospective-technology sketch

@@ -1,0 +1,79 @@
+package envm
+
+import (
+	"math"
+	"testing"
+)
+
+// Property tests over every built-in technology: the retention model
+// that the scrub scheduler bisects over (internal/mitigate) is only
+// sound if RetentionFaultRate is monotone — non-decreasing in age and
+// in density — and if zero age is exactly the write-time model. A
+// violation here silently breaks the "longest safe interval" search.
+
+func builtinTechs() []Tech {
+	return append(Evaluated(), Survey()...)
+}
+
+func TestRetentionFaultRateMonotoneInYears(t *testing.T) {
+	years := []float64{0, 0.1, 0.5, 1, 2, 5, 10, 20, 50}
+	for _, tech := range builtinTechs() {
+		for bpc := 1; bpc <= tech.MaxBitsPerCell; bpc++ {
+			prev := -1.0
+			for _, y := range years {
+				r := tech.RetentionFaultRate(bpc, y)
+				if math.IsNaN(r) || r < 0 || r > 1 {
+					t.Fatalf("%s bpc %d at %gy: fault rate %g not a probability", tech.Name, bpc, y, r)
+				}
+				if r < prev {
+					t.Errorf("%s bpc %d: fault rate decreased with age: %g at %gy after %g",
+						tech.Name, bpc, r, y, prev)
+				}
+				prev = r
+			}
+		}
+	}
+}
+
+func TestRetentionFaultRateMonotoneInBPC(t *testing.T) {
+	for _, tech := range builtinTechs() {
+		for _, y := range []float64{0, 1, 10} {
+			prev := -1.0
+			for bpc := 1; bpc <= tech.MaxBitsPerCell; bpc++ {
+				r := tech.RetentionFaultRate(bpc, y)
+				if r < prev {
+					t.Errorf("%s at %gy: fault rate decreased with density: %g at bpc %d after %g",
+						tech.Name, y, r, bpc, prev)
+				}
+				prev = r
+			}
+		}
+	}
+}
+
+// Zero age must be the write-time model EXACTLY — not approximately.
+// LifetimeTrial seeds epoch 0 from the same level model EvalTrial uses;
+// any divergence would make write-time campaigns and lifetime epoch 0
+// disagree on identical seeds.
+func TestLevelsAfterZeroIsLevelsExactly(t *testing.T) {
+	for _, tech := range builtinTechs() {
+		for bpc := 1; bpc <= tech.MaxBitsPerCell; bpc++ {
+			fresh := mustLevels(tech.Levels(bpc))
+			aged := mustLevels(tech.LevelsAfter(bpc, 0))
+			if len(fresh.Levels) != len(aged.Levels) || len(fresh.Thresholds) != len(aged.Thresholds) {
+				t.Fatalf("%s bpc %d: zero-age drift changed model shape", tech.Name, bpc)
+			}
+			for i := range fresh.Levels {
+				if fresh.Levels[i] != aged.Levels[i] {
+					t.Errorf("%s bpc %d level %d: %v != %v at zero age",
+						tech.Name, bpc, i, aged.Levels[i], fresh.Levels[i])
+				}
+			}
+			for i := range fresh.Thresholds {
+				if fresh.Thresholds[i] != aged.Thresholds[i] {
+					t.Errorf("%s bpc %d threshold %d moved at zero age", tech.Name, bpc, i)
+				}
+			}
+		}
+	}
+}

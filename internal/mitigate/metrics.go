@@ -1,0 +1,17 @@
+package mitigate
+
+// Planner telemetry. Runtime mitigation events (scrub epochs, rewrites,
+// degraded blocks, floor violations) are recorded where they happen, in
+// internal/ares; this package only counts planning decisions.
+//
+//	mitigate.plan.protect  protection plans computed
+//	mitigate.plan.scrub    scrub schedules computed
+
+import "repro/internal/telemetry"
+
+var met = struct {
+	plans, scrubPlans *telemetry.Counter
+}{
+	plans:      telemetry.Default().Counter("mitigate.plan.protect"),
+	scrubPlans: telemetry.Default().Counter("mitigate.plan.scrub"),
+}
