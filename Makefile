@@ -6,6 +6,12 @@
 #   make cover   - per-package coverage floors on the core packages
 #   make fuzz    - short fuzz pass over the sparse decode targets
 #   make bench   - full benchmark harness (regenerates every figure)
+#   make bench-inference - tracked inference/campaign throughput baseline,
+#                  written to BENCH_inference.json. To compare two
+#                  revisions benchstat-style, save each run's stdout
+#                  (e.g. `make bench-inference | tee old.txt`) and diff
+#                  the ns/op, allocs/op, and trials/s columns; the JSON
+#                  diff in review serves the same purpose.
 #   make all     - check + race
 
 GO      ?= go
@@ -17,7 +23,7 @@ FUZZTIME ?= 10s
 COVER_FLOOR ?= 70
 COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil
 
-.PHONY: all check build test race race-fast vet cover fuzz bench clean
+.PHONY: all check build test race race-fast vet cover fuzz bench bench-inference clean
 
 all: check race
 
@@ -39,12 +45,12 @@ race: vet
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/campaign/... ./internal/stats/...
 
-# The telemetry registry and the instrumented campaign engine are the
-# most concurrency-sensitive pieces; they get a dedicated race pass in
-# tier 1 so a data race cannot land even when the full race tier is
-# skipped.
+# The telemetry registry, the instrumented campaign engine, the replica
+# pool, and the parallel tensor kernels are the most
+# concurrency-sensitive pieces; they get a dedicated race pass in tier 1
+# so a data race cannot land even when the full race tier is skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/...
 
 cover:
 	@fail=0; \
@@ -68,6 +74,14 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The tracked baseline: campaign trial throughput (replica pool vs the
+# serialized reference path) and the steady-state forward pass, teed
+# through cmd/benchjson into BENCH_inference.json so the numbers land in
+# review diffs.
+bench-inference:
+	$(GO) test -run '^$$' -bench 'TrialThroughput|ForwardAllocFree' -benchmem -benchtime=2s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_inference.json
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,152 @@
+package maxnvm
+
+// Tracked inference-engine benchmarks (make bench-inference): campaign
+// trial throughput through the replica pool vs the legacy serialized
+// path, and the allocation profile of the steady-state forward pass.
+// Results are written to BENCH_inference.json so speedups and
+// regressions are visible in review diffs. Compare runs benchstat-style:
+// save the old and new `go test -bench` output and diff the ns/op,
+// allocs/op, and trials/s columns.
+//
+// Two workloads are tracked:
+//
+//   - CampaignTrialThroughput*: the paper's Figure 5 row-counter config
+//     (CTT MLC3 on the CSR rowcount stream). The stream is a few hundred
+//     cells, so most fault maps decode clean and take the zero-mismatch
+//     fast path — the realistic campaign mix.
+//   - CorruptedTrialThroughput*: the CSR value stream at MLC3, where
+//     essentially every trial corrupts weights and pays full inference —
+//     the worst case, isolating replica-vs-lock measurement cost.
+//
+// The reported fasthit/op metric makes the fast-path fraction explicit
+// in the JSON so the two workloads cannot be confused.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ares"
+	"repro/internal/dnn"
+	"repro/internal/envm"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+	"repro/internal/train"
+)
+
+var (
+	benchMeasuredOnce sync.Once
+	benchMeasuredEv   *ares.MeasuredEvaluator
+	benchMeasuredErr  error
+)
+
+// benchMeasured trains the TinyCNN fixture once per benchmark binary and
+// wraps it in a MeasuredEvaluator (same recipe as the ares test suite).
+func benchMeasured(b *testing.B) *ares.MeasuredEvaluator {
+	b.Helper()
+	benchMeasuredOnce.Do(func() {
+		trainDS := train.Synthesize(train.SynthConfig{N: 600, Seed: 10, ProtoSeed: 77})
+		testDS := train.Synthesize(train.SynthConfig{N: 200, Seed: 11, ProtoSeed: 77})
+		m := dnn.TinyCNN()
+		m.InitWeights(42)
+		if _, benchMeasuredErr = train.Train(m, trainDS, train.Config{Epochs: 6, Seed: 1}); benchMeasuredErr != nil {
+			return
+		}
+		benchMeasuredEv, benchMeasuredErr = ares.NewMeasuredEvaluator(m, testDS, 5)
+	})
+	if benchMeasuredErr != nil {
+		b.Fatal(benchMeasuredErr)
+	}
+	return benchMeasuredEv
+}
+
+func benchFig5Config() ares.Config {
+	return ares.IsolateStream(ares.Config{Tech: envm.CTT, Encoding: sparse.KindCSR},
+		"rowcount", ares.StreamPolicy{BPC: 3})
+}
+
+func benchDenseFaultConfig() ares.Config {
+	return ares.IsolateStream(ares.Config{Tech: envm.CTT, Encoding: sparse.KindCSR},
+		"values", ares.StreamPolicy{BPC: 3})
+}
+
+// trial is one EvalTrial-shaped call under benchmark.
+type trialFunc func(ctx context.Context, cfg ares.Config, seed uint64) (float64, ares.TrialStats, error)
+
+// benchTrials drives fn from GOMAXPROCS goroutines — the campaign
+// engine's access pattern — reporting trials/s and the fast-path hit
+// fraction.
+func benchTrials(b *testing.B, cfg ares.Config, fn trialFunc) {
+	ctx := context.Background()
+	// Warm the encoding cache (and replica pool) outside the timer.
+	if _, _, err := fn(ctx, cfg, 1); err != nil {
+		b.Fatal(err)
+	}
+	fastHits := telemetry.Default().Counter("ares.fastpath.hits")
+	hits0 := fastHits.Value()
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := fn(ctx, cfg, seed.Add(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "trials/s")
+	}
+	b.ReportMetric(float64(fastHits.Value()-hits0)/float64(b.N), "fasthit/op")
+}
+
+// BenchmarkCampaignTrialThroughput is the headline: Figure 5 campaign
+// trials through the replica pool (parallel measurement + fast path).
+func BenchmarkCampaignTrialThroughput(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, benchFig5Config(), ev.EvalTrial)
+}
+
+// BenchmarkCampaignTrialThroughputSerial is the pre-replica baseline:
+// the same concurrent callers, but every measurement funnels through the
+// mutex-serialized shared model and allocates a fresh forward pass.
+func BenchmarkCampaignTrialThroughputSerial(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, benchFig5Config(), ev.EvalTrialSerial)
+}
+
+// BenchmarkCorruptedTrialThroughput is the worst case: every trial
+// corrupts weights, so the fast path never fires and each trial pays a
+// full (allocation-free, replica-local) inference pass.
+func BenchmarkCorruptedTrialThroughput(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, benchDenseFaultConfig(), ev.EvalTrial)
+}
+
+// BenchmarkCorruptedTrialThroughputSerial is the locked baseline for the
+// worst case.
+func BenchmarkCorruptedTrialThroughputSerial(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, benchDenseFaultConfig(), ev.EvalTrialSerial)
+}
+
+// BenchmarkForwardAllocFree measures the steady-state forward pass in
+// the replica configuration (Workers=1, reused Forwarder). Run with
+// -benchmem: the acceptance criterion is 0 allocs/op.
+func BenchmarkForwardAllocFree(b *testing.B) {
+	ds := train.Synthesize(train.SynthConfig{N: 100, Seed: 1})
+	m := dnn.TinyCNN()
+	m.InitWeights(1)
+	f := dnn.NewForwarder(m)
+	f.Workers = 1
+	f.Forward(ds.Images) // materialize buffers
+	if n := testing.AllocsPerRun(10, func() { f.Forward(ds.Images) }); n != 0 {
+		b.Fatalf("steady-state forward pass allocates %v allocs/op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(ds.Images)
+	}
+}

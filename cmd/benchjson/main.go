@@ -1,0 +1,132 @@
+// Command benchjson turns `go test -bench` output into a tracked JSON
+// baseline. It tees stdin to stdout (so the human-readable benchmark
+// table still shows in the terminal / CI log) while parsing every
+// benchmark result line into a machine-readable record, then writes the
+// whole set to -out as indented JSON.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Throughput -benchmem . | benchjson -out BENCH_inference.json
+//
+// Each benchmark line has the shape
+//
+//	BenchmarkName-8   123   456789 ns/op   12.3 trials/s   0 B/op   0 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs — including
+// custom b.ReportMetric units. All pairs land in the record's metrics
+// map keyed by unit. Header lines (goos/goarch/pkg/cpu) are captured
+// verbatim as environment context.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file written to -out.
+type Report struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_inference.json", "output JSON path")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if res, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+			continue
+		}
+		// Benchmark header context (goos: linux, cpu: ..., pkg: ...).
+		if k, v, found := strings.Cut(line, ": "); found && !strings.Contains(k, " ") {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				rep.Env[k] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin; not writing", *out)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseLine parses one `Benchmark... N  v1 u1  v2 u2 ...` result line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so records are comparable across hosts.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return Result{}, false
+	}
+	return res, true
+}

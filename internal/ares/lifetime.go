@@ -259,7 +259,7 @@ func (ev *MeasuredEvaluator) LifetimeTrial(ctx context.Context, cfg Config, lp L
 		agg.Mismatch /= total
 		agg.ValueNSR /= total
 
-		delta, err := ev.MeasureDecoded(decoded)
+		delta, err := ev.measureDecoded(decoded)
 		if err != nil {
 			return res, err
 		}

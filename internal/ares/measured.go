@@ -33,11 +33,16 @@ type MeasuredEvaluator struct {
 	// construction, restored after every inference.
 	snap map[int]*tensor.Matrix
 
-	// mu serializes the apply-weights + inference + restore critical
-	// section of EvalTrial: the model's weight matrices are mutated in
-	// place, so only one trial may occupy the model at a time. Encoding,
-	// injection, and decoding run outside the lock and parallelize.
+	// mu serializes the legacy MeasureDecoded path: it mutates the
+	// shared model's weight matrices in place, so only one caller may
+	// occupy the model at a time. The campaign hot path (EvalTrial,
+	// LifetimeTrial) instead measures on a checked-out replica (see
+	// replica.go) and never takes this lock.
 	mu sync.Mutex
+	// replicas holds idle inference replicas; replicaSem bounds lazy
+	// replica creation to the pool capacity (see initReplicaPool).
+	replicas   chan *replica
+	replicaSem chan struct{}
 	// encMu guards encCache (pristine per-config encodings; trials clone).
 	encMu    sync.Mutex
 	encCache map[string][]sparse.Encoding
@@ -65,6 +70,7 @@ func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*Meas
 	ev.BaselineErr = train.Error(m, test)
 	ev.snap = m.CloneWeights()
 	ev.encCache = make(map[string][]sparse.Encoding)
+	ev.initReplicaPool()
 	return ev, nil
 }
 
@@ -163,29 +169,23 @@ func (ev *MeasuredEvaluator) encodings(cfg Config) ([]sparse.Encoding, error) {
 	return encs, nil
 }
 
-// EvalTrial runs ONE fault-injection trial under cfg with the given
-// trial seed and returns the measured classification-error delta
-// (clamped at 0) plus the aggregated corruption statistics.
-//
-// It is the campaign-engine entry point: errors are returned rather than
-// panicking, a cancelled context aborts between layers, and concurrent
-// calls are safe — encode/inject/decode run in parallel while the
-// apply-weights + inference step is serialized on the shared model.
-// Seeding contract: the per-layer injection seeds are drawn from
-// stats.NewSource(seed), so the trial outcome is a pure function of
+// corruptTrial runs the encode -> inject -> decode stages of one trial
+// and returns the per-layer decoded cluster indices plus the aggregated
+// corruption statistics. The per-layer injection seeds are drawn from
+// stats.NewSource(seed), so the decoded indices are a pure function of
 // (cfg, seed) regardless of worker interleaving.
-func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+func (ev *MeasuredEvaluator) corruptTrial(ctx context.Context, cfg Config, seed uint64) ([][]uint8, TrialStats, error) {
 	var agg TrialStats
 	encs, err := ev.encodings(cfg)
 	if err != nil {
-		return 0, agg, err
+		return nil, agg, err
 	}
 	tsrc := stats.NewSource(seed)
 	decodedLayers := make([][]uint8, len(ev.clustered))
 	for i, cl := range ev.clustered {
 		st, decoded, err := RunTrialChecked(ctx, encs[i], cl.Indices, cl.Centroids, cfg, tsrc.Uint64())
 		if err != nil {
-			return 0, agg, err
+			return nil, agg, err
 		}
 		decodedLayers[i] = decoded
 		agg.Faults += st.Faults
@@ -200,8 +200,43 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 	agg.StructFrac /= total
 	agg.Mismatch /= total
 	agg.ValueNSR /= total
-
 	if err := ctx.Err(); err != nil {
+		return nil, agg, err
+	}
+	return decodedLayers, agg, nil
+}
+
+// EvalTrial runs ONE fault-injection trial under cfg with the given
+// trial seed and returns the measured classification-error delta
+// (clamped at 0) plus the aggregated corruption statistics.
+//
+// It is the campaign-engine entry point: errors are returned rather than
+// panicking, a cancelled context aborts between layers, and concurrent
+// calls are safe AND parallel end to end — encode/inject/decode share
+// nothing, and measurement runs on a checked-out model replica rather
+// than a lock around the shared model, so up to GOMAXPROCS trials run
+// inference simultaneously. Seeding contract: the per-layer injection
+// seeds are drawn from stats.NewSource(seed), so the trial outcome is a
+// pure function of (cfg, seed) regardless of worker interleaving or
+// which replica serves the measurement (see replica.go for the
+// argument).
+func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	decodedLayers, agg, err := ev.corruptTrial(ctx, cfg, seed)
+	if err != nil {
+		return 0, agg, err
+	}
+	delta, err := ev.measureDecoded(decodedLayers)
+	return delta, agg, err
+}
+
+// EvalTrialSerial is EvalTrial measured through the legacy serialized
+// MeasureDecoded path (mutate the one shared model under a mutex). It
+// exists as the reference implementation: the replica path is pinned
+// bit-identical to it by test, and the benchmark suite compares the two
+// to track the parallel speedup.
+func (ev *MeasuredEvaluator) EvalTrialSerial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	decodedLayers, agg, err := ev.corruptTrial(ctx, cfg, seed)
+	if err != nil {
 		return 0, agg, err
 	}
 	delta, err := ev.MeasureDecoded(decodedLayers)
@@ -210,18 +245,13 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 
 // MeasureDecoded applies per-layer decoded cluster indices to the live
 // model, measures the classification-error delta against the baseline
-// (clamped at 0), and restores the pristine weights. It is the shared
-// inference tail of EvalTrial and LifetimeTrial; concurrent calls are
-// serialized on the model.
+// (clamped at 0), and restores the pristine weights. Concurrent calls
+// are serialized on the model; it is kept as the reference measurement
+// path (see EvalTrialSerial) while the campaign hot path uses the
+// replica-pool measureDecoded in replica.go.
 func (ev *MeasuredEvaluator) MeasureDecoded(decodedLayers [][]uint8) (float64, error) {
-	if len(decodedLayers) != len(ev.clustered) {
-		return 0, fmt.Errorf("ares: %d decoded layers vs %d clustered", len(decodedLayers), len(ev.clustered))
-	}
-	for i, cl := range ev.clustered {
-		if len(decodedLayers[i]) != len(cl.Indices) {
-			return 0, fmt.Errorf("ares: layer %d: %d decoded indices vs %d weights",
-				i, len(decodedLayers[i]), len(cl.Indices))
-		}
+	if err := ev.checkDecoded(decodedLayers); err != nil {
+		return 0, err
 	}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()

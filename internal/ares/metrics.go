@@ -15,6 +15,15 @@ package ares
 //	ares.enccache.hits   encoding-cache hits
 //	ares.enccache.misses encoding-cache misses (encodes performed)
 //
+// Replica-pool measurement (the parallel inference tail, replica.go):
+//
+//	ares.eval.parallel   wall time of measureDecoded incl. replica wait (ns)
+//	ares.fastpath.hits   trials whose decoded indices matched pristine
+//	                     exactly (inference skipped, delta 0 by construction)
+//	ares.fastpath.misses trials that required real inference
+//	ares.replicas.created model replicas materialized (lazy, <= GOMAXPROCS)
+//	ares.replicas.busy   replicas currently checked out (occupancy gauge)
+//
 // Error-mitigation events (the lifetime subsystem, internal/mitigate):
 //
 //	ecc.corrected            blocks repaired by SEC-DED across all trials
@@ -28,7 +37,11 @@ import "repro/internal/telemetry"
 
 var met = struct {
 	encode, inject, decode, eval *telemetry.Timer
+	evalParallel                 *telemetry.Timer
 	cacheHits, cacheMisses       *telemetry.Counter
+	fastHits, fastMisses         *telemetry.Counter
+	replicasCreated              *telemetry.Counter
+	replicasBusy                 *telemetry.Gauge
 	eccCorrected, eccDetected    *telemetry.Counter
 	degradedBlocks               *telemetry.Counter
 	scrubEpochs, scrubRewrites   *telemetry.Counter
@@ -38,8 +51,13 @@ var met = struct {
 	inject:          telemetry.Default().Timer("ares.phase.inject"),
 	decode:          telemetry.Default().Timer("ares.phase.decode"),
 	eval:            telemetry.Default().Timer("ares.phase.eval"),
+	evalParallel:    telemetry.Default().Timer("ares.eval.parallel"),
 	cacheHits:       telemetry.Default().Counter("ares.enccache.hits"),
 	cacheMisses:     telemetry.Default().Counter("ares.enccache.misses"),
+	fastHits:        telemetry.Default().Counter("ares.fastpath.hits"),
+	fastMisses:      telemetry.Default().Counter("ares.fastpath.misses"),
+	replicasCreated: telemetry.Default().Counter("ares.replicas.created"),
+	replicasBusy:    telemetry.Default().Gauge("ares.replicas.busy"),
 	eccCorrected:    telemetry.Default().Counter("ecc.corrected"),
 	eccDetected:     telemetry.Default().Counter("ecc.detected"),
 	degradedBlocks:  telemetry.Default().Counter("mitigate.degrade.blocks"),

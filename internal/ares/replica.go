@@ -1,0 +1,186 @@
+package ares
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// The inference replica pool: the parallel measurement tail of
+// EvalTrial and LifetimeTrial.
+//
+// The serial path (MeasureDecoded) mutates the ONE shared model under a
+// mutex, so with W campaign workers the encode/inject/decode stages
+// parallelize but every trial still funnels through a single inference
+// critical section — the campaign's throughput ceiling is one core as
+// soon as inference dominates. A replica is a CloneShared copy of the
+// evaluator's model whose weight matrices point at the pristine
+// clustered snapshot; a trial checks out a replica, swaps private
+// buffers over ONLY the layers its decoded indices actually corrupt,
+// runs the allocation-free Forwarder pass, and repoints the shared
+// matrices on check-in. Replicas are created lazily up to GOMAXPROCS.
+//
+// Purity argument (why the (cfg, seed) contract survives): a trial's
+// decoded indices are a pure function of (cfg, seed) — all randomness
+// is drawn from stats.NewSource(seed) before measurement begins. The
+// measurement itself is a deterministic function of the decoded indices
+// alone: every replica holds bit-identical pristine weights (the shared
+// snapshot), private buffers are fully overwritten before use, and the
+// Forwarder's arithmetic is independent of worker count and replica
+// identity. Which replica serves a trial therefore cannot affect its
+// delta.
+
+// replica is one checked-out-able inference engine.
+type replica struct {
+	model *dnn.Model
+	fw    *dnn.Forwarder
+	// priv[i] is the lazily materialized private weight buffer for
+	// weight-layer ordinal i; it is swapped over the shared pristine
+	// matrix only when trial i's decoded indices differ from pristine.
+	priv []*tensor.Matrix
+	// dirty lists the ordinals whose layers currently point at private
+	// buffers, so reset is O(corrupted layers).
+	dirty []int
+}
+
+// newReplica clones the evaluator's model with shared storage, points
+// every weight layer at the pristine snapshot, and binds a serial
+// (Workers=1) Forwarder: trial-level parallelism already fills the
+// machine, so kernel-level goroutines would only add oversubscription
+// and per-call allocations.
+func (ev *MeasuredEvaluator) newReplica() *replica {
+	m := ev.Model.CloneShared()
+	for _, li := range ev.layerIdx {
+		m.Layers[li].Weights = ev.snap[li]
+	}
+	fw := dnn.NewForwarder(m)
+	fw.Workers = 1
+	return &replica{
+		model: m,
+		fw:    fw,
+		priv:  make([]*tensor.Matrix, len(ev.clustered)),
+		dirty: make([]int, 0, len(ev.clustered)),
+	}
+}
+
+// apply swaps weight-layer ordinal i to a private buffer filled with
+// the decoded centroids.
+func (r *replica) apply(ev *MeasuredEvaluator, i int, decoded []uint8) {
+	cl := ev.clustered[i]
+	buf := r.priv[i]
+	if buf == nil {
+		buf = tensor.NewMatrix(cl.Rows, cl.Cols)
+		r.priv[i] = buf
+	}
+	for j, idx := range decoded {
+		buf.Data[j] = cl.Centroids[idx]
+	}
+	r.model.Layers[ev.layerIdx[i]].Weights = buf
+	r.dirty = append(r.dirty, i)
+}
+
+// reset repoints every corrupted layer back at the shared pristine
+// snapshot. Private buffers are kept for reuse.
+func (r *replica) reset(ev *MeasuredEvaluator) {
+	for _, i := range r.dirty {
+		r.model.Layers[ev.layerIdx[i]].Weights = ev.snap[ev.layerIdx[i]]
+	}
+	r.dirty = r.dirty[:0]
+}
+
+// initReplicaPool sizes the pool to GOMAXPROCS at construction time.
+// Replicas are created lazily: a serial caller only ever pays for one.
+func (ev *MeasuredEvaluator) initReplicaPool() {
+	size := runtime.GOMAXPROCS(0)
+	if size < 1 {
+		size = 1
+	}
+	ev.replicas = make(chan *replica, size)
+	ev.replicaSem = make(chan struct{}, size)
+}
+
+// checkout returns an idle replica, creating one if the pool is below
+// capacity, and blocking otherwise until a trial checks one in.
+func (ev *MeasuredEvaluator) checkout() *replica {
+	met.replicasBusy.Add(1)
+	select {
+	case r := <-ev.replicas:
+		return r
+	default:
+	}
+	select {
+	case r := <-ev.replicas:
+		return r
+	case ev.replicaSem <- struct{}{}:
+		met.replicasCreated.Inc()
+		return ev.newReplica()
+	}
+}
+
+// checkin resets the replica to pristine and returns it to the pool.
+func (ev *MeasuredEvaluator) checkin(r *replica) {
+	r.reset(ev)
+	ev.replicas <- r
+	met.replicasBusy.Add(-1)
+}
+
+// checkDecoded validates the decoded-layer matrix against the
+// evaluator's clustered layers.
+func (ev *MeasuredEvaluator) checkDecoded(decodedLayers [][]uint8) error {
+	if len(decodedLayers) != len(ev.clustered) {
+		return fmt.Errorf("ares: %d decoded layers vs %d clustered", len(decodedLayers), len(ev.clustered))
+	}
+	for i, cl := range ev.clustered {
+		if len(decodedLayers[i]) != len(cl.Indices) {
+			return fmt.Errorf("ares: layer %d: %d decoded indices vs %d weights",
+				i, len(decodedLayers[i]), len(cl.Indices))
+		}
+	}
+	return nil
+}
+
+// measureDecoded is the parallel inference tail shared by EvalTrial and
+// LifetimeTrial: validate, take the zero-mismatch fast path when every
+// decoded layer equals its pristine indices (the common SLC / post-ECC
+// case — pristine indices reproduce the baseline exactly, so the delta
+// is 0 by construction), otherwise check out a replica, overlay the
+// corrupted layers, and run real inference. Concurrent calls proceed in
+// parallel up to the pool size.
+func (ev *MeasuredEvaluator) measureDecoded(decodedLayers [][]uint8) (float64, error) {
+	if err := ev.checkDecoded(decodedLayers); err != nil {
+		return 0, err
+	}
+	pristine := true
+	for i, cl := range ev.clustered {
+		if !bytes.Equal(decodedLayers[i], cl.Indices) {
+			pristine = false
+			break
+		}
+	}
+	if pristine {
+		met.fastHits.Inc()
+		return 0, nil
+	}
+	met.fastMisses.Inc()
+	waitStart := time.Now()
+	r := ev.checkout()
+	defer ev.checkin(r)
+	evalStart := time.Now()
+	for i, cl := range ev.clustered {
+		if !bytes.Equal(decodedLayers[i], cl.Indices) {
+			r.apply(ev, i, decodedLayers[i])
+		}
+	}
+	delta := train.ErrorWith(r.fw, ev.Test) - ev.BaselineErr
+	met.eval.Since(evalStart)
+	met.evalParallel.Since(waitStart)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, nil
+}

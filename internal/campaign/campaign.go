@@ -438,7 +438,9 @@ func (c *Campaign) worker(ctx context.Context, specs <-chan Trial, results chan<
 		if c.configStopped(spec.Config) {
 			continue // early stop raced with dispatch; drop the trial
 		}
+		c.met.workersBusy.Add(1)
 		rec := c.attempt(ctx, spec)
+		c.met.workersBusy.Add(-1)
 		if rec == nil {
 			continue // cancelled mid-trial
 		}

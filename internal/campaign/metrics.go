@@ -11,6 +11,7 @@ package campaign
 //	campaign.trials.panicked       terminal failures caused by a panic
 //	campaign.trials.timed_out      terminal failures caused by the deadline
 //	campaign.earlystop.decisions   configs stopped early by the CI target
+//	campaign.workers.busy          workers currently inside a trial attempt
 //	campaign.trial.latency         wall time of one trial incl. retries (ns)
 //	campaign.checkpoint.flushes    checkpoint records flushed
 //	campaign.checkpoint.flush_latency  marshal+write+fsync-to-OS time (ns)
@@ -30,6 +31,7 @@ type engineMetrics struct {
 	started, completed, failed *telemetry.Counter
 	retried, panicked, timeout *telemetry.Counter
 	earlyStops                 *telemetry.Counter
+	workersBusy                *telemetry.Gauge
 	trialLatency               *telemetry.Timer
 	ckptFlushes                *telemetry.Counter
 	ckptLatency                *telemetry.Timer
@@ -44,6 +46,7 @@ func newEngineMetrics(r *telemetry.Registry) *engineMetrics {
 		panicked:     r.Counter("campaign.trials.panicked"),
 		timeout:      r.Counter("campaign.trials.timed_out"),
 		earlyStops:   r.Counter("campaign.earlystop.decisions"),
+		workersBusy:  r.Gauge("campaign.workers.busy"),
 		trialLatency: r.Timer("campaign.trial.latency"),
 		ckptFlushes:  r.Counter("campaign.checkpoint.flushes"),
 		ckptLatency:  r.Timer("campaign.checkpoint.flush_latency"),

@@ -1,0 +1,133 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Forwarder runs repeated forward passes over one model with zero
+// steady-state allocation: every inter-layer activation tensor, im2col
+// patch buffer, and logit view is owned by the Forwarder and reused
+// across calls. It exists because fault-injection campaigns evaluate
+// the same test set thousands of times — with the default Forward path
+// the garbage generated per trial scales with trials x test-set size.
+//
+// A Forwarder is NOT safe for concurrent use; run one per worker (the
+// ares replica pool does exactly that). Weight matrices are read from
+// the model at call time, so swapping a layer's Weights pointer between
+// calls (the replica pool's private corrupted buffers) is supported.
+type Forwarder struct {
+	m *Model
+	// Workers bounds kernel parallelism (convolution image bands and
+	// GEMM row bands). 0 means GOMAXPROCS. Set 1 when the caller
+	// parallelizes at a higher level — one Forwarder per worker — which
+	// also keeps the pass free of goroutine spawns and therefore
+	// allocation-free in steady state.
+	Workers int
+
+	acts   []*tensor.Tensor4 // per-layer output buffers, grown on demand
+	conv   tensor.ConvWorkspace
+	flat   tensor.Matrix // FC input view into the upstream activation
+	view   tensor.Matrix // FC/GAP output view into acts[i]
+	logits tensor.Matrix // result view into the last activation
+}
+
+// NewForwarder builds a Forwarder for m. Buffers are materialized
+// lazily on the first Forward call and thereafter reused whenever the
+// batch shape repeats.
+func NewForwarder(m *Model) *Forwarder {
+	return &Forwarder{m: m, acts: make([]*tensor.Tensor4, len(m.Layers))}
+}
+
+// ensure returns the layer-i output buffer with the given shape,
+// reusing (or growing) the existing allocation.
+func (f *Forwarder) ensure(i, n, c, h, w int) *tensor.Tensor4 {
+	t := f.acts[i]
+	if t != nil && t.N == n && t.C == c && t.H == h && t.W == w {
+		return t
+	}
+	if t != nil && cap(t.Data) >= n*c*h*w {
+		t.N, t.C, t.H, t.W = n, c, h, w
+		t.Data = t.Data[:n*c*h*w]
+		return t
+	}
+	t = tensor.NewTensor4(n, c, h, w)
+	f.acts[i] = t
+	return t
+}
+
+// Forward runs inference on a batch and returns the (N x Classes) logit
+// matrix. The returned matrix is a view into Forwarder-owned storage:
+// it is valid until the next Forward call. The model must be valid (see
+// Model.Validate); Forward panics on shape errors.
+//
+// Per-element arithmetic is identical to Model.Forward for every
+// Workers setting (parallelism only partitions independent rows and
+// images), so a pool of Forwarders is bit-for-bit exchangeable with the
+// serial path.
+func (f *Forwarder) Forward(in *tensor.Tensor4) *tensor.Matrix {
+	f.conv.Workers = f.Workers
+	fetch := func(i, ref int) *tensor.Tensor4 {
+		if ref == -1 {
+			if i == 0 {
+				return in
+			}
+			return f.acts[i-1]
+		}
+		return f.acts[ref]
+	}
+	for i, l := range f.m.Layers {
+		x := fetch(i, l.Input)
+		switch l.Kind {
+		case Conv:
+			out := f.ensure(i, x.N, l.Conv.OutC, l.Conv.OutH(), l.Conv.OutW())
+			tensor.Conv2DInto(out, x, l.Weights, l.Bias, l.Conv, &f.conv)
+		case FC:
+			out := f.ensure(i, x.N, l.OutFeatures, 1, 1)
+			f.flat = tensor.Matrix{Rows: x.N, Cols: x.C * x.H * x.W, Data: x.Data}
+			f.view = tensor.Matrix{Rows: x.N, Cols: l.OutFeatures, Data: out.Data}
+			if f.Workers == 1 {
+				tensor.MulABtBand(&f.view, &f.flat, l.Weights, 0, x.N)
+			} else {
+				tensor.MulABtInto(&f.view, &f.flat, l.Weights)
+			}
+			if l.Bias != nil {
+				f.view.AddBiasRows(l.Bias)
+			}
+		case MaxPool:
+			out := f.ensure(i, x.N, x.C, x.H/l.PoolK, x.W/l.PoolK)
+			tensor.MaxPool2DInto(out, x, l.PoolK)
+		case GlobalAvgPool:
+			out := f.ensure(i, x.N, x.C, 1, 1)
+			f.view = tensor.Matrix{Rows: x.N, Cols: x.C, Data: out.Data}
+			tensor.GlobalAvgPool2DInto(&f.view, x)
+		case Add:
+			y := fetch(i, l.Input2)
+			out := f.ensure(i, x.N, x.C, x.H, x.W)
+			copy(out.Data, x.Data)
+			for j, v := range y.Data {
+				out.Data[j] += v
+			}
+		default:
+			panic(fmt.Sprintf("dnn: unknown layer kind %d", l.Kind))
+		}
+		if l.ReLUAfter {
+			f.acts[i].ReLU()
+		}
+	}
+	last := f.acts[len(f.acts)-1]
+	f.logits = tensor.Matrix{Rows: last.N, Cols: last.C * last.H * last.W, Data: last.Data}
+	return &f.logits
+}
+
+// Predict returns the argmax class per batch sample, appending into dst
+// (pass a recycled slice to avoid the allocation).
+func (f *Forwarder) Predict(in *tensor.Tensor4, dst []int) []int {
+	logits := f.Forward(in)
+	dst = dst[:0]
+	for r := 0; r < logits.Rows; r++ {
+		dst = append(dst, logits.ArgmaxRow(r))
+	}
+	return dst
+}

@@ -366,52 +366,26 @@ func (m *Model) RestoreWeights(snap map[int]*tensor.Matrix) {
 
 // Forward runs inference on a batch and returns the (N x Classes) logit
 // matrix. The model must be valid (see Validate); Forward panics on shape
-// errors.
+// errors. It delegates to a throwaway Forwarder; callers that evaluate
+// repeatedly should hold a Forwarder themselves to reuse its buffers.
 func (m *Model) Forward(in *tensor.Tensor4) *tensor.Matrix {
-	acts := make([]*tensor.Tensor4, len(m.Layers))
-	fetch := func(i, ref int) *tensor.Tensor4 {
-		if ref == -1 {
-			if i == 0 {
-				return in
-			}
-			return acts[i-1]
-		}
-		return acts[ref]
-	}
+	return NewForwarder(m).Forward(in)
+}
+
+// CloneShared returns a model whose Layer structs are copies but whose
+// weight and bias storage is SHARED with the receiver. It is the basis
+// of the inference replica pool: replicas treat the shared matrices as
+// read-only and swap in private buffers for the layers a trial
+// corrupts, so a pool costs one set of pristine weights plus only the
+// corrupted deltas.
+func (m *Model) CloneShared() *Model {
+	out := *m
+	out.Layers = make([]*Layer, len(m.Layers))
 	for i, l := range m.Layers {
-		x := fetch(i, l.Input)
-		var out *tensor.Tensor4
-		switch l.Kind {
-		case Conv:
-			out = tensor.Conv2D(x, l.Weights, l.Bias, l.Conv)
-		case FC:
-			flat := tensor.Flatten(x)
-			prod := tensor.Mul(flat, l.Weights.Transpose())
-			if l.Bias != nil {
-				prod.AddBiasRows(l.Bias)
-			}
-			out = &tensor.Tensor4{N: x.N, C: l.OutFeatures, H: 1, W: 1, Data: prod.Data}
-		case MaxPool:
-			out = tensor.MaxPool2D(x, l.PoolK)
-		case GlobalAvgPool:
-			gap := tensor.GlobalAvgPool2D(x)
-			out = &tensor.Tensor4{N: x.N, C: x.C, H: 1, W: 1, Data: gap.Data}
-		case Add:
-			y := fetch(i, l.Input2)
-			out = x.Clone()
-			for j, v := range y.Data {
-				out.Data[j] += v
-			}
-		default:
-			panic(fmt.Sprintf("dnn: unknown layer kind %d", l.Kind))
-		}
-		if l.ReLUAfter {
-			out.ReLU()
-		}
-		acts[i] = out
+		ll := *l
+		out.Layers[i] = &ll
 	}
-	last := acts[len(acts)-1]
-	return tensor.FromSlice(last.N, last.C*last.H*last.W, last.Data)
+	return &out
 }
 
 // Predict returns the argmax class per batch sample.

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(2.5)
+	g.Add(1)
+	g.Add(-0.5)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("gauge = %v, want 3", v)
+	}
+	g.Set(10)
+	g.Add(-10)
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge after set+add = %v, want 0", v)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	// Add must not lose updates under contention: the occupancy gauges
+	// (ares.replicas.busy, campaign.workers.busy) do balanced +1/-1 pairs
+	// from many goroutines and must settle back to the initial level.
+	var g Gauge
+	const goroutines = 16
+	const iters = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %v after balanced adds, want 0", v)
+	}
+}

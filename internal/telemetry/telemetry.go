@@ -51,6 +51,19 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adjusts the gauge by delta (negative deltas decrement),
+// making a Gauge usable as an occupancy/level meter updated from many
+// goroutines. Lock-free via a compare-and-swap loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value (0 if never set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

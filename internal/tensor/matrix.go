@@ -55,6 +55,22 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Reshape resizes the matrix to rows x cols, reusing the backing array
+// whenever it has the capacity (the contents are unspecified afterwards).
+// Scratch buffers reshaped per layer shape this way reach a steady state
+// with zero allocations.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	m.Rows, m.Cols = rows, cols
+	if need := rows * cols; cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	} else {
+		m.Data = m.Data[:need]
+	}
+}
+
 // Fill sets every element to v.
 func (m *Matrix) Fill(v float32) {
 	for i := range m.Data {
@@ -63,8 +79,10 @@ func (m *Matrix) Fill(v float32) {
 }
 
 // MulInto computes dst = a * b. Shapes must agree: a is (M x K), b is
-// (K x N), dst is (M x N). dst must not alias a or b. The multiplication
-// is cache-blocked and parallelized across row bands.
+// (K x N), dst is (M x N). dst must not alias a or b; its prior contents
+// are ignored (each row band clears its own rows, so no serial memset
+// precedes the parallel section). The multiplication is cache-blocked
+// and parallelized across row bands.
 func MulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MulInto inner dims %d != %d", a.Cols, b.Rows))
@@ -72,12 +90,17 @@ func MulInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MulInto dst shape mismatch")
 	}
-	m, k, n := a.Rows, a.Cols, b.Cols
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
+	mulParallel(dst.Data, a, b, a.Rows, a.Cols, b.Cols, 0)
+}
 
-	workers := runtime.GOMAXPROCS(0)
+// mulParallel runs dst = a*b over the full dst backing slice with the
+// given worker bound (0 = GOMAXPROCS). It is the shared engine behind
+// MulInto and the single-image convolution path, which multiplies
+// straight into an output-tensor image slice instead of a Matrix.
+func mulParallel(dst []float32, a, b *Matrix, m, k, n, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > m {
 		workers = m
 	}
@@ -111,20 +134,103 @@ func MulInto(dst, a, b *Matrix) {
 }
 
 // mulBand computes rows [lo, hi) of dst = a*b using an ikj loop order so
-// the inner loop streams through contiguous rows of b and dst.
-func mulBand(dst, a, b *Matrix, lo, hi, k, n int) {
+// the inner loop streams through contiguous rows of b and dst. Each band
+// clears its own rows before accumulating, so large GEMMs never pay a
+// single-threaded zero fill ahead of the parallel section. The inner
+// loop is 4-way unrolled; each dst element still accumulates its terms
+// one at a time in ascending-p order, so results are bit-identical to
+// the scalar kernel (and to the pre-unroll one).
+func mulBand(dst []float32, a, b *Matrix, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		ar := a.Data[i*k : (i+1)*k]
-		dr := dst.Data[i*n : (i+1)*n]
+		dr := dst[i*n : (i+1)*n]
+		for j := range dr {
+			dr[j] = 0
+		}
 		for p := 0; p < k; p++ {
 			av := ar[p]
 			if av == 0 {
 				continue // pruned weights are common; skip zero rows cheaply
 			}
 			br := b.Data[p*n : (p+1)*n]
-			for j := range dr {
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				d := dr[j : j+4 : j+4]
+				s := br[j : j+4 : j+4]
+				d[0] += av * s[0]
+				d[1] += av * s[1]
+				d[2] += av * s[2]
+				d[3] += av * s[3]
+			}
+			for ; j < n; j++ {
 				dr[j] += av * br[j]
 			}
+		}
+	}
+}
+
+// MulABtInto computes dst = a * bᵀ without materializing the transpose:
+// a is (M x K), b is (N x K), dst is (M x N). Both operands are walked
+// row-major (dst[i][j] is the dot product of row i of a and row j of b),
+// so the fully-connected forward pass needs neither a transposed weight
+// copy nor a zero fill. Accumulation order and the zero-skip on a's
+// elements match mulBand term for term, so dst is bit-identical to
+// MulInto(dst, a, Transpose(b)). Parallelized across row bands of a.
+func MulABtInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulABtInto inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MulABtInto dst shape mismatch")
+	}
+	m, k, n := a.Rows, a.Cols, b.Rows
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if m*k*n < 65536 || workers <= 1 {
+		MulABtBand(dst, a, b, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			MulABtBand(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulABtBand computes rows [lo, hi) of dst = a * bᵀ serially. It is the
+// building block of MulABtInto, exported so callers that parallelize at
+// a higher level (one inference replica per worker) can run the kernel
+// with zero goroutine spawns and zero allocations.
+func MulABtBand(dst, a, b *Matrix, lo, hi int) {
+	k, n := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		dr := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			var acc float32
+			for p, av := range ar {
+				if av == 0 {
+					continue // post-ReLU activations are mostly zero
+				}
+				acc += av * br[p]
+			}
+			dr[j] = acc
 		}
 	}
 }
