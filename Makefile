@@ -4,7 +4,8 @@
 #                  the concurrency-heavy packages (the seed contract)
 #   make race    - tier 2: go vet + race detector on a fast test pass
 #   make cover   - per-package coverage floors on the core packages
-#   make fuzz    - short fuzz pass over the sparse decode targets
+#   make fuzz    - short fuzz pass over the sparse decode and
+#                  checkpoint-loader targets
 #   make bench   - full benchmark harness (regenerates every figure)
 #   make bench-inference - tracked inference/campaign throughput baseline,
 #                  written to BENCH_inference.json. To compare two
@@ -21,7 +22,7 @@ FUZZTIME ?= 10s
 # package rather than aggregate so an untested package cannot hide
 # behind a well-tested one.
 COVER_FLOOR ?= 70
-COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs
 
 .PHONY: all check build test race race-fast vet cover fuzz bench bench-inference clean
 
@@ -71,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -fuzz=FuzzBitMaskDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -fuzz=FuzzECCCorrect -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/campaign/
 
 bench:
 	$(GO) test -bench=. -benchmem .

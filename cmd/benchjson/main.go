@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/durable"
 )
 
 // Result is one parsed benchmark line.
@@ -88,7 +90,9 @@ func main() {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	// Atomic replace: a crash (or a concurrent reader) mid-write must see
+	// the previous baseline or the new one, never a truncated JSON file.
+	if err := durable.WriteFileAtomic(nil, *out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -159,6 +159,8 @@ func main() {
 		TrialTimeout:   *timeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Fsync:          tel.SyncPolicy(),
+		LockCheckpoint: tel.LockCheckpoint(),
 	}
 	if *progress > 0 {
 		opt.Progress = os.Stderr
@@ -205,9 +207,10 @@ func main() {
 	}
 	start := time.Now()
 	res, runErr := c.Run(ctx)
-	if runErr != nil && !res.Interrupted {
+	if runErr != nil && (res == nil || !res.Interrupted) {
 		log.Fatal(runErr)
 	}
+	printRecovery(c)
 
 	cr := res.Config(label)
 	fmt.Printf("\ncampaign: %d trials executed, %d reused from checkpoint, %d skipped by early stop (%.1fs)\n",
@@ -341,9 +344,10 @@ func runLifetime(ctx context.Context, ev *ares.MeasuredEvaluator, m *dnn.Model,
 	}
 	start := time.Now()
 	res, runErr := c.Run(ctx)
-	if runErr != nil && !res.Interrupted {
+	if runErr != nil && (res == nil || !res.Interrupted) {
 		log.Fatal(runErr)
 	}
+	printRecovery(c)
 
 	fmt.Printf("\nlifetime campaign: %d epoch-trials executed, %d reused from checkpoint, %d skipped (%.1fs)\n",
 		res.Executed, res.Reused, res.Skipped, time.Since(start).Seconds())
@@ -378,6 +382,21 @@ func runLifetime(ctx context.Context, ev *ares.MeasuredEvaluator, m *dnn.Model,
 		return 130
 	}
 	return 0
+}
+
+// printRecovery summarizes what a resumed campaign salvaged from its
+// checkpoint: the torn tail it repaired and the trials it replayed
+// instead of re-executing.
+func printRecovery(c *campaign.Campaign) {
+	rec := c.Recovery()
+	if !rec.Resumed {
+		return
+	}
+	line := fmt.Sprintf("recovery: repaired tail: %d bytes, replayed %d trials", rec.RepairedBytes, rec.Replayed)
+	if rec.TornLines > 0 {
+		line += fmt.Sprintf(", skipped %d corrupt lines", rec.TornLines)
+	}
+	fmt.Println(line)
 }
 
 // mustStreams splits a comma-separated stream list and validates every

@@ -79,13 +79,15 @@ func main() {
 	}
 
 	campaignOpt := exper.CampaignOptions{
-		MaxTrials:    *maxTrials,
-		MinTrials:    *minTrials,
-		CITarget:     *ciTarget,
-		Workers:      *workers,
-		TrialTimeout: *timeout,
-		Checkpoint:   *checkpoint,
-		Resume:       *resume,
+		MaxTrials:      *maxTrials,
+		MinTrials:      *minTrials,
+		CITarget:       *ciTarget,
+		Workers:        *workers,
+		TrialTimeout:   *timeout,
+		Checkpoint:     *checkpoint,
+		Resume:         *resume,
+		Fsync:          tel.SyncPolicy(),
+		LockCheckpoint: tel.LockCheckpoint(),
 	}
 	if *progress > 0 {
 		campaignOpt.Progress = os.Stderr

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
+	"repro/internal/durable"
 	"repro/internal/envm"
 	"repro/internal/nvsim"
 )
@@ -43,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent characterization workers (0 = auto)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (completed points are appended)")
 	resume := flag.Bool("resume", false, "replay completed points from -checkpoint before computing the rest")
+	outPath := flag.String("out", "", "write the characterized points as JSON to this path (atomic replace)")
 	maxTrials := flag.Int("max-trials", 1, "samples per organization (the analytic model is deterministic; >1 only re-verifies)")
 	ciTarget := flag.Float64("ci-target", 0, "early-stop CI half-width target when -max-trials > 1")
 	progress := flag.Duration("progress", 0, "progress-line interval on stderr (0 = silent)")
@@ -134,6 +137,8 @@ func main() {
 		TrialTimeout:   *timeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Fsync:          tel.SyncPolicy(),
+		LockCheckpoint: tel.LockCheckpoint(),
 	}
 	if *progress > 0 {
 		opt.Progress = os.Stderr
@@ -144,7 +149,7 @@ func main() {
 		log.Fatal(err)
 	}
 	res, runErr := c.Run(ctx)
-	if runErr != nil && !res.Interrupted {
+	if runErr != nil && (res == nil || !res.Interrupted) {
 		log.Fatal(runErr)
 	}
 
@@ -172,6 +177,20 @@ func main() {
 		fmt.Printf("%6d %5d %5d %9d %9d %10.3f %12.2f %10.2f %10.2f\n",
 			r.Banks, r.Mats, r.DataWidth, r.Rows, r.Cols,
 			r.AreaMM2, r.ReadLatencyNs, r.ReadEnergyPJ, r.ReadBandwidthGBs)
+	}
+
+	if *outPath != "" && len(points) > 0 {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		// Atomic replace: an interrupted dump leaves the previous file, not
+		// half a JSON array.
+		if err := durable.WriteFileAtomic(nil, *outPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "nvsweep: wrote %d points to %s\n", len(points), *outPath)
 	}
 
 	fmt.Printf("%s, %.1f MB, %d bit/cell (%d/%d organizations characterized, %d reused)\n",

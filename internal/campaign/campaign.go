@@ -31,12 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -142,8 +144,23 @@ type Options struct {
 	// no checkpointing).
 	CheckpointPath string
 	// Resume preloads outcomes from CheckpointPath (if it exists) so only
-	// missing trials execute.
+	// missing trials execute. A torn tail left by a killed run is
+	// repaired (truncated) before the first new append.
 	Resume bool
+	// Fsync is the checkpoint durability policy (the zero value is
+	// durable.SyncInterval: fsync at most once per FsyncInterval).
+	Fsync durable.SyncPolicy
+	// FsyncInterval is the amortization window for durable.SyncInterval
+	// (default 1s).
+	FsyncInterval time.Duration
+	// LockCheckpoint takes an exclusive advisory lock on the checkpoint
+	// for the campaign's lifetime, so two campaigns cannot interleave
+	// one file; the second one fails with durable.ErrLocked.
+	LockCheckpoint bool
+	// FS overrides the filesystem the checkpoint is stored on (nil =
+	// the real one). Tests substitute internal/errfs to prove recovery
+	// under injected faults.
+	FS durable.FS
 	// Log, when non-nil, receives one progress line per config completion.
 	Log io.Writer
 	// Progress, when non-nil, receives a periodic status line while the
@@ -213,6 +230,28 @@ type Result struct {
 	// Interrupted is set when the campaign was cancelled before covering
 	// every scheduled trial.
 	Interrupted bool
+	// Degraded is set when checkpointing failed mid-run (full disk, I/O
+	// error, ...) and the campaign continued without durability rather
+	// than aborting the science. The aggregates are complete and
+	// correct; they just cannot be resumed past the failure point.
+	Degraded bool
+}
+
+// RecoveryInfo describes what a resumed campaign recovered from its
+// checkpoint: how many records it replayed, how many interior lines
+// were corrupt, and how many torn-tail bytes were truncated before the
+// first new append. Valid after Run (Replayed and TornLines are known
+// from New onward).
+type RecoveryInfo struct {
+	// Resumed reports that Options.Resume was set with a CheckpointPath.
+	Resumed bool
+	// Replayed counts the usable checkpoint records accepted for replay.
+	Replayed int
+	// TornLines counts corrupt or undecodable interior lines skipped
+	// (also counted in the campaign.ckpt.torn_lines metric).
+	TornLines int
+	// RepairedBytes is the torn tail truncated before appending.
+	RepairedBytes int64
 }
 
 // Config returns the aggregate for a config ID (nil if unknown).
@@ -250,6 +289,7 @@ type Campaign struct {
 	preload  map[trialKey]*Record
 	ckpt     *checkpointWriter
 	met      *engineMetrics
+	recovery RecoveryInfo
 	statesMu sync.Mutex // guards configState.stopped reads from workers
 }
 
@@ -296,13 +336,47 @@ func New(configs []string, run RunFunc, opt Options) (*Campaign, error) {
 		c.state[id] = &configState{name: id, extra: map[string]float64{}, pending: map[int]*Record{}}
 	}
 	if opt.Resume && opt.CheckpointPath != "" {
-		pre, err := loadCheckpoint(opt.CheckpointPath, opt.Seed)
+		pre, info, err := loadCheckpoint(opt.FS, opt.CheckpointPath, opt.Seed, c.warnWriter(), c.met)
 		if err != nil {
 			return nil, err
 		}
 		c.preload = pre
+		c.recovery = RecoveryInfo{
+			Resumed:       true,
+			Replayed:      len(pre),
+			TornLines:     info.TornLines,
+			RepairedBytes: info.TornTailBytes,
+		}
 	}
 	return c, nil
+}
+
+// Recovery reports what a resumed campaign recovered from its
+// checkpoint (the zero value for fresh campaigns).
+func (c *Campaign) Recovery() RecoveryInfo { return c.recovery }
+
+// warnWriter is where the engine reports non-fatal storage trouble
+// (torn checkpoint lines, degradation). Options.Log when set, else
+// stderr: a corrupted checkpoint must never be invisible.
+func (c *Campaign) warnWriter() io.Writer {
+	if c.opt.Log != nil {
+		return c.opt.Log
+	}
+	return os.Stderr
+}
+
+// degrade switches the campaign into no-durability mode after a storage
+// failure: the result is flagged, the campaign.ckpt.degraded gauge goes
+// to 1, and the first failure is reported. Later failures are silent —
+// one dead disk should not produce one warning per trial. Only Run's
+// collector goroutine calls this, so the check-and-set needs no lock.
+func (c *Campaign) degrade(res *Result, err error) {
+	if res.Degraded {
+		return
+	}
+	res.Degraded = true
+	c.met.ckptDegraded.Set(1)
+	fmt.Fprintf(c.warnWriter(), "campaign: checkpoint degraded (campaign continues without durability): %v\n", err)
 }
 
 // Run executes the campaign. On cancellation it flushes the checkpoint
@@ -312,12 +386,27 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	res := &Result{}
 
 	if c.opt.CheckpointPath != "" {
-		w, err := openCheckpoint(c.opt.CheckpointPath, c.opt.Seed, c.opt.Resume, c.met)
-		if err != nil {
+		w, rep, err := openCheckpoint(c.opt, c.met)
+		switch {
+		case errors.Is(err, durable.ErrLocked):
+			// Another campaign holds the checkpoint: interleaving two
+			// writers would corrupt both, so this is the one storage
+			// failure that must abort rather than degrade.
 			return nil, err
+		case err != nil:
+			// The disk is bad before the first trial ran. Keep computing —
+			// losing durability must not lose the science — but say so.
+			c.degrade(res, err)
+		default:
+			c.ckpt = w
+			c.recovery.RepairedBytes = rep.TruncatedBytes
+			if rep.TruncatedBytes > 0 {
+				c.met.ckptRepaired.Add(rep.TruncatedBytes)
+				fmt.Fprintf(c.warnWriter(), "campaign: checkpoint %s: repaired torn tail (%d bytes truncated)\n",
+					c.opt.CheckpointPath, rep.TruncatedBytes)
+			}
+			defer c.ckpt.Close()
 		}
-		c.ckpt = w
-		defer c.ckpt.Close()
 	}
 
 	// Phase 1: replay checkpointed outcomes in deterministic order.
@@ -359,8 +448,8 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		res.Executed++
 		done.Add(1)
 		if c.ckpt != nil {
-			if err := c.ckpt.Append(rec); err != nil && c.opt.Log != nil {
-				fmt.Fprintf(c.opt.Log, "campaign: checkpoint write failed: %v\n", err)
+			if err := c.ckpt.Append(rec); err != nil {
+				c.degrade(res, err)
 			}
 		}
 		c.fold(rec)

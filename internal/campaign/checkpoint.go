@@ -1,31 +1,50 @@
 package campaign
 
-// JSONL checkpoint format.
+// Checkpoint format (v2, on the internal/durable WAL).
 //
-// Line 1 is a header object recording the campaign base seed and format
-// version; every following line is one completed trial outcome (success
-// or terminal failure). Lines are appended and flushed as trials finish,
-// so a killed campaign loses at most the in-flight trials. On resume the
-// file is replayed: records whose seed does not match the deterministic
-// derivation for (base seed, config, trial) are ignored as stale, so a
-// checkpoint can never silently poison a campaign with foreign results.
+// The first record is a header object carrying the campaign base seed
+// and format version; every following record is one completed trial
+// outcome (success or terminal failure). Records are appended as trials
+// finish, so a killed campaign loses at most the in-flight trials.
+//
+// Version 2 frames every record with a length and a CRC32C
+// (durable.AppendFrame), which turns the failure modes of a killed or
+// faulty writer into detectable, repairable states instead of silent
+// data loss:
+//
+//   - a torn tail is truncated before the first new append, so resume
+//     never glues a fresh record onto half-written garbage (the v1 bug:
+//     O_APPEND after a torn line corrupted the next record and every
+//     later load silently stopped there);
+//   - a corrupt or undecodable interior line is logged with its line
+//     number, counted in campaign.ckpt.torn_lines, and skipped — the
+//     records after it still load because newlines resynchronize;
+//   - records whose seed does not match the deterministic derivation
+//     for (base seed, config, trial) are ignored as stale, so a
+//     checkpoint can never silently poison a campaign with foreign
+//     results.
+//
+// Version 1 files (plain JSONL) remain readable; new appends to them go
+// out framed, producing a mixed file the loader handles per line.
 //
 // Float64 values round-trip exactly through encoding/json (Go emits the
 // shortest representation that parses back to the same bits), which is
 // what makes resumed aggregates bit-identical rather than merely close.
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
-	"sync"
 	"time"
+
+	"repro/internal/durable"
 )
 
-// checkpointVersion is bumped on any incompatible format change.
-const checkpointVersion = 1
+// checkpointVersion is the format version new checkpoints are written
+// with. Version 1 (unframed JSONL) is still accepted on load.
+const checkpointVersion = 2
 
 type header struct {
 	Version int    `json:"version"`
@@ -48,137 +67,181 @@ type Record struct {
 	Attempts int     `json:"attempts,omitempty"`
 }
 
-// checkpointWriter appends records to a JSONL file, flushing per record.
+// checkpointWriter appends framed records to the WAL; the WAL holds the
+// lock, applies the fsync policy, and serializes concurrent appends.
 type checkpointWriter struct {
-	mu  sync.Mutex
-	f   *os.File
-	buf *bufio.Writer
+	w   *durable.WAL
 	met *engineMetrics
 }
 
-// openCheckpoint opens (resume) or creates (fresh) the checkpoint file
-// and ensures the header is present and matches the campaign seed.
-func openCheckpoint(path string, seed uint64, resume bool, met *engineMetrics) (*checkpointWriter, error) {
-	if resume {
-		if _, err := os.Stat(path); err == nil {
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+// openCheckpoint opens (resume) or creates (fresh) the checkpoint WAL.
+// Resume repairs any torn tail before the first append and reports what
+// it fixed; a fresh file (or one whose content was entirely torn away)
+// gets a v2 header.
+func openCheckpoint(opt Options, met *engineMetrics) (*checkpointWriter, durable.RepairInfo, error) {
+	wopt := durable.Options{
+		FS:           opt.FS,
+		Sync:         opt.Fsync,
+		SyncInterval: opt.FsyncInterval,
+		Lock:         opt.LockCheckpoint,
+	}
+	var rep durable.RepairInfo
+	if opt.Resume {
+		if _, err := statFS(opt.FS, opt.CheckpointPath); err == nil {
+			w, r, err := durable.OpenAppend(opt.CheckpointPath, wopt)
 			if err != nil {
-				return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+				return nil, r, fmt.Errorf("campaign: open checkpoint: %w", err)
 			}
-			return &checkpointWriter{f: f, buf: bufio.NewWriter(f), met: met}, nil
+			if r.ValidLines == 0 {
+				// Nothing usable survived (empty file, or the header itself
+				// was torn): start over with a fresh header.
+				if err := writeCheckpointHeader(w, opt.Seed); err != nil {
+					w.Close()
+					return nil, r, err
+				}
+			}
+			return &checkpointWriter{w: w, met: met}, r, nil
 		}
 	}
-	f, err := os.Create(path)
+	w, err := durable.Create(opt.CheckpointPath, wopt)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
+		return nil, rep, fmt.Errorf("campaign: create checkpoint: %w", err)
 	}
-	w := &checkpointWriter{f: f, buf: bufio.NewWriter(f), met: met}
-	line, _ := json.Marshal(headerLine{Campaign: &header{Version: checkpointVersion, Seed: seed}})
-	if _, err := w.buf.Write(append(line, '\n')); err != nil {
-		f.Close()
-		return nil, err
+	if err := writeCheckpointHeader(w, opt.Seed); err != nil {
+		w.Close()
+		return nil, rep, err
 	}
-	if err := w.buf.Flush(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return w, nil
+	return &checkpointWriter{w: w, met: met}, rep, nil
 }
 
-// Append writes one record and flushes it to the OS, recording flush
-// count and latency in the engine metrics.
-func (w *checkpointWriter) Append(rec *Record) error {
+func statFS(fsys durable.FS, path string) (os.FileInfo, error) {
+	if fsys == nil {
+		return os.Stat(path)
+	}
+	return fsys.Stat(path)
+}
+
+func writeCheckpointHeader(w *durable.WAL, seed uint64) error {
+	line, err := json.Marshal(headerLine{Campaign: &header{Version: checkpointVersion, Seed: seed}})
+	if err != nil {
+		return err
+	}
+	if err := w.Append(line); err != nil {
+		return fmt.Errorf("campaign: write checkpoint header: %w", err)
+	}
+	return nil
+}
+
+// Append frames and writes one record, recording flush count and
+// latency in the engine metrics.
+func (cw *checkpointWriter) Append(rec *Record) error {
 	start := time.Now()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := w.buf.Write(append(line, '\n')); err != nil {
+	if err := cw.w.Append(line); err != nil {
 		return err
 	}
-	if err := w.buf.Flush(); err != nil {
-		return err
-	}
-	if w.met != nil {
-		w.met.ckptFlushes.Inc()
-		w.met.ckptLatency.Since(start)
+	if cw.met != nil {
+		cw.met.ckptFlushes.Inc()
+		cw.met.ckptLatency.Since(start)
 	}
 	return nil
 }
 
-// Close flushes and closes the file.
-func (w *checkpointWriter) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.buf.Flush(); err != nil {
-		w.f.Close()
-		return err
-	}
-	return w.f.Close()
+// Close flushes per the fsync policy, releases the lock, and closes the
+// file.
+func (cw *checkpointWriter) Close() error { return cw.w.Close() }
+
+// loadInfo describes what loadCheckpoint found beyond the records.
+type loadInfo struct {
+	// Records counts the usable records accepted for replay.
+	Records int
+	// TornLines counts interior lines skipped: corrupt v2 frames plus
+	// undecodable JSON.
+	TornLines int
+	// TornTailBytes is the size of the unusable tail (repaired later by
+	// openCheckpoint, reported here so resume can announce it).
+	TornTailBytes int64
 }
 
-// loadCheckpoint reads a checkpoint file and returns the usable records
-// keyed by (config, trial). A missing file is not an error (nothing to
-// resume); a seed or version mismatch is, because silently mixing
-// campaigns would corrupt the statistics.
-func loadCheckpoint(path string, seed uint64) (map[trialKey]*Record, error) {
-	f, err := os.Open(path)
+// loadCheckpoint reads a checkpoint file (v1, v2, or mixed) and returns
+// the usable records keyed by (config, trial). A missing file is not an
+// error (nothing to resume); a seed or version mismatch is, because
+// silently mixing campaigns would corrupt the statistics. Interior
+// corruption is logged to logw, counted, and skipped — never silently
+// dropped, and never allowed past the CRC or the seed derivation check.
+func loadCheckpoint(fsys durable.FS, path string, seed uint64, logw io.Writer, met *engineMetrics) (map[trialKey]*Record, *loadInfo, error) {
+	sr, err := durable.Scan(fsys, path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, &loadInfo{}, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("campaign: open checkpoint: %w", err)
 	}
-	defer f.Close()
-
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	info := &loadInfo{TornTailBytes: sr.TornBytes()}
+	warnf := func(format string, args ...any) {
+		if logw != nil {
+			fmt.Fprintf(logw, format+"\n", args...)
 		}
-		return nil, nil // empty file: treat as no checkpoint
 	}
+	for _, num := range sr.Corrupt {
+		info.TornLines++
+		warnf("campaign: checkpoint %s line %d: corrupt frame (CRC/length mismatch); skipping", path, num)
+	}
+	if len(sr.Lines) == 0 {
+		// Empty file, or every line torn: treat as no checkpoint. The
+		// writer will lay down a fresh header.
+		if info.TornLines > 0 || info.TornTailBytes > 0 {
+			warnf("campaign: checkpoint %s has no usable records; starting fresh", path)
+		}
+		reportTorn(met, info)
+		return nil, info, nil
+	}
+
 	var hl headerLine
-	if err := json.Unmarshal(sc.Bytes(), &hl); err != nil || hl.Campaign == nil {
-		return nil, fmt.Errorf("campaign: %s is not a campaign checkpoint (bad header)", path)
+	if err := json.Unmarshal(sr.Lines[0].Payload, &hl); err != nil || hl.Campaign == nil {
+		return nil, nil, fmt.Errorf("campaign: %s is not a campaign checkpoint (bad header)", path)
 	}
-	if hl.Campaign.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has format version %d, want %d",
+	if hl.Campaign.Version != 1 && hl.Campaign.Version != checkpointVersion {
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s has format version %d, want 1 or %d",
 			path, hl.Campaign.Version, checkpointVersion)
 	}
 	if hl.Campaign.Seed != seed {
-		return nil, fmt.Errorf("campaign: checkpoint %s was written with seed %d, campaign uses %d",
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s was written with seed %d, campaign uses %d",
 			path, hl.Campaign.Seed, seed)
 	}
 
 	out := map[trialKey]*Record{}
-	lineNo := 1
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
+	for _, ln := range sr.Lines[1:] {
+		if len(ln.Payload) == 0 {
 			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			// A torn final line from a killed process is expected; torn
-			// lines elsewhere would have broken JSON too, so just stop at
-			// the first undecodable record.
-			break
+		if err := json.Unmarshal(ln.Payload, &rec); err != nil {
+			info.TornLines++
+			warnf("campaign: checkpoint %s line %d: undecodable record; skipping", path, ln.Num)
+			continue
 		}
 		if rec.Config == "" || rec.Trial < 0 {
 			continue
+		}
+		if rec.Sample == nil && rec.ErrKind == "" {
+			continue // carries no outcome: not a replayable record
 		}
 		if rec.Seed != TrialSeed(seed, rec.Config, rec.Trial) {
 			continue // stale record from an incompatible derivation
 		}
 		out[trialKey{rec.Config, rec.Trial}] = &rec
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: read checkpoint line %d: %w", lineNo, err)
+	info.Records = len(out)
+	reportTorn(met, info)
+	return out, info, nil
+}
+
+func reportTorn(met *engineMetrics, info *loadInfo) {
+	if met != nil && info.TornLines > 0 {
+		met.ckptTorn.Add(int64(info.TornLines))
 	}
-	return out, nil
 }

@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// fuzzSeed is the campaign base seed the fuzz loader runs under; every
+// accepted record must derive from it.
+const fuzzSeed uint64 = 42
+
+// buildV2Checkpoint returns a well-formed v2 file: framed header plus
+// framed records whose seeds satisfy the derivation.
+func buildV2Checkpoint() []byte {
+	var out []byte
+	hdr, _ := json.Marshal(headerLine{Campaign: &header{Version: checkpointVersion, Seed: fuzzSeed}})
+	out = durable.AppendFrame(out, hdr)
+	for trial := 0; trial < 3; trial++ {
+		s := TrialSeed(fuzzSeed, "cfg", trial)
+		sample, _ := detRun(context.Background(), Trial{Config: "cfg", Index: trial, Seed: s})
+		rec, _ := json.Marshal(&Record{Config: "cfg", Trial: trial, Seed: s, Sample: &sample})
+		out = durable.AppendFrame(out, rec)
+	}
+	return out
+}
+
+// buildV1Checkpoint returns the same content in the legacy unframed
+// JSONL format.
+func buildV1Checkpoint() []byte {
+	var out []byte
+	out = fmt.Appendf(out, `{"campaign":{"version":1,"seed":%d}}`+"\n", fuzzSeed)
+	for trial := 0; trial < 3; trial++ {
+		s := TrialSeed(fuzzSeed, "cfg", trial)
+		sample, _ := detRun(context.Background(), Trial{Config: "cfg", Index: trial, Seed: s})
+		rec, _ := json.Marshal(&Record{Config: "cfg", Trial: trial, Seed: s, Sample: &sample})
+		out = append(out, rec...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// FuzzLoadCheckpoint throws arbitrary bytes at the checkpoint loader.
+// Invariants: it never panics, and every record it accepts passed both
+// the frame check and the seed derivation — corruption can lose
+// records (they re-execute), but it can never smuggle one in.
+func FuzzLoadCheckpoint(f *testing.F) {
+	v2 := buildV2Checkpoint()
+	v1 := buildV1Checkpoint()
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)-7])                         // torn tail
+	f.Add(append(append([]byte{}, v1...), v2...)) // mixed
+	for _, i := range []int{10, len(v2) / 2, len(v2) - 2} {
+		flip := append([]byte(nil), v2...)
+		flip[i] ^= 0x40
+		f.Add(flip)
+	}
+	f.Add([]byte(`{"campaign":{"version":9,"seed":42}}` + "\n"))
+	f.Add([]byte(`{"campaign":{"version":2,"seed":7}}` + "\n"))
+	f.Add([]byte(`{"other":1}` + "\n"))
+	f.Add([]byte("v2 00000000 0 \n"))
+	f.Add([]byte("v2 deadbeef 1000000000 x\n"))
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		recs, info, err := loadCheckpoint(nil, path, fuzzSeed, io.Discard, nil)
+		if err != nil {
+			return // rejection is always a legal outcome
+		}
+		if info == nil {
+			t.Fatal("nil loadInfo without error")
+		}
+		for key, rec := range recs {
+			if rec.Seed != TrialSeed(fuzzSeed, rec.Config, rec.Trial) {
+				t.Fatalf("accepted record with forged seed: %+v", rec)
+			}
+			if key.config != rec.Config || key.trial != rec.Trial {
+				t.Fatalf("record keyed inconsistently: %v vs %+v", key, rec)
+			}
+			if rec.Sample == nil && rec.ErrKind == "" {
+				t.Fatalf("accepted record with neither sample nor error: %+v", rec)
+			}
+		}
+	})
+}

@@ -15,6 +15,9 @@ package campaign
 //	campaign.trial.latency         wall time of one trial incl. retries (ns)
 //	campaign.checkpoint.flushes    checkpoint records flushed
 //	campaign.checkpoint.flush_latency  marshal+write+fsync-to-OS time (ns)
+//	campaign.ckpt.torn_lines       corrupt/undecodable checkpoint lines skipped on load
+//	campaign.ckpt.repaired_bytes   torn-tail bytes truncated before resume appends
+//	campaign.ckpt.degraded         1 while the campaign runs without durability
 
 import (
 	"fmt"
@@ -35,6 +38,9 @@ type engineMetrics struct {
 	trialLatency               *telemetry.Timer
 	ckptFlushes                *telemetry.Counter
 	ckptLatency                *telemetry.Timer
+	ckptTorn                   *telemetry.Counter
+	ckptRepaired               *telemetry.Counter
+	ckptDegraded               *telemetry.Gauge
 }
 
 func newEngineMetrics(r *telemetry.Registry) *engineMetrics {
@@ -50,6 +56,9 @@ func newEngineMetrics(r *telemetry.Registry) *engineMetrics {
 		trialLatency: r.Timer("campaign.trial.latency"),
 		ckptFlushes:  r.Counter("campaign.checkpoint.flushes"),
 		ckptLatency:  r.Timer("campaign.checkpoint.flush_latency"),
+		ckptTorn:     r.Counter("campaign.ckpt.torn_lines"),
+		ckptRepaired: r.Counter("campaign.ckpt.repaired_bytes"),
+		ckptDegraded: r.Gauge("campaign.ckpt.degraded"),
 	}
 }
 

@@ -1,7 +1,8 @@
 // Package cliutil holds the flag plumbing shared by the repro CLIs:
-// the -metrics JSON telemetry dump and the -pprof profiling endpoint.
-// It exists so the three commands (faultsim, maxnvm, nvsweep) expose
-// identical observability surfaces without triplicating the wiring.
+// the -metrics JSON telemetry dump, the -pprof profiling endpoint, and
+// the -fsync/-lock checkpoint durability knobs. It exists so the
+// commands (faultsim, maxnvm, nvsweep) expose identical observability
+// and durability surfaces without triplicating the wiring.
 package cliutil
 
 import (
@@ -14,13 +15,17 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/durable"
 	"repro/internal/telemetry"
 )
 
-// Telemetry carries the observability flag state of one CLI run.
+// Telemetry carries the observability and durability flag state of one
+// CLI run.
 type Telemetry struct {
 	metricsPath string
 	pprofAddr   string
+	fsync       durable.SyncPolicy
+	lock        bool
 	reg         *telemetry.Registry
 }
 
@@ -41,8 +46,26 @@ func AddFlagsTo(fs *flag.FlagSet) *Telemetry {
 		"write a JSON telemetry snapshot (counters, gauges, latency percentiles) to this path on exit")
 	fs.StringVar(&t.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address, e.g. localhost:6060")
+	fs.Func("fsync", "checkpoint durability policy: never|interval|always (default interval)",
+		func(s string) error {
+			p, err := durable.ParseSyncPolicy(s)
+			if err != nil {
+				return err
+			}
+			t.fsync = p
+			return nil
+		})
+	fs.BoolVar(&t.lock, "lock", true,
+		"hold an exclusive lock on the checkpoint so two campaigns cannot interleave one file")
 	return t
 }
+
+// SyncPolicy returns the -fsync choice (durable.SyncInterval unless the
+// flag was given).
+func (t *Telemetry) SyncPolicy() durable.SyncPolicy { return t.fsync }
+
+// LockCheckpoint returns the -lock choice (true by default).
+func (t *Telemetry) LockCheckpoint() bool { return t.lock }
 
 // NotifyContext returns a context cancelled on SIGINT or SIGTERM: the
 // shared graceful-shutdown contract of the repro CLIs (the campaign

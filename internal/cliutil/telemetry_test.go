@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/telemetry"
 )
 
@@ -119,5 +121,43 @@ func TestNotifyContextCancelsOnSIGINT(t *testing.T) {
 	case <-ctx2.Done():
 		t.Fatal("fresh context already cancelled")
 	default:
+	}
+}
+
+// The durability flags: -fsync parses through durable.ParseSyncPolicy
+// (defaulting to the interval policy), -lock defaults to on.
+func TestDurabilityFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		sync durable.SyncPolicy
+		lock bool
+	}{
+		{nil, durable.SyncInterval, true},
+		{[]string{"-fsync", "never"}, durable.SyncNever, true},
+		{[]string{"-fsync", "interval"}, durable.SyncInterval, true},
+		{[]string{"-fsync", "always"}, durable.SyncAlways, true},
+		{[]string{"-fsync", "every-record"}, durable.SyncAlways, true},
+		{[]string{"-lock=false"}, durable.SyncInterval, false},
+		{[]string{"-fsync", "always", "-lock=false"}, durable.SyncAlways, false},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		tel := AddFlagsTo(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if tel.SyncPolicy() != tc.sync || tel.LockCheckpoint() != tc.lock {
+			t.Errorf("%v: sync=%v lock=%v, want %v/%v",
+				tc.args, tel.SyncPolicy(), tel.LockCheckpoint(), tc.sync, tc.lock)
+		}
+	}
+
+	// A bad policy is a flag-parse error, not a silent default.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	AddFlagsTo(fs)
+	if err := fs.Parse([]string{"-fsync", "sometimes"}); err == nil {
+		t.Error("bogus -fsync value accepted")
 	}
 }

@@ -1,0 +1,59 @@
+package durable
+
+// Atomic whole-file replacement. A -metrics snapshot or a benchmark
+// baseline half-written by a dying process is worse than no file: it
+// parses as truth. WriteFileAtomic guarantees readers observe either
+// the old content or the complete new content, never a prefix.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// tmpSeq distinguishes concurrent temp files within one process; the
+// PID distinguishes processes.
+var tmpSeq atomic.Uint64
+
+// WriteFileAtomic replaces path with data via a same-directory temp
+// file, fsync, rename, and directory sync. On any failure the original
+// file is untouched and the temp file is removed. A nil fsys uses the
+// real filesystem.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	if fsys == nil {
+		fsys = OS()
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		return fmt.Errorf("durable: create temp for %s: %w", path, err)
+	}
+	fail := func(op string, err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: %s %s: %w", op, path, err)
+	}
+	n, err := f.Write(data)
+	if err != nil {
+		return fail("write", err)
+	}
+	if n < len(data) {
+		return fail("write", fmt.Errorf("short write (%d of %d bytes)", n, len(data)))
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: close temp for %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("durable: rename into %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("durable: sync dir of %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package durable_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/errfs"
+)
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := durable.WriteFileAtomic(nil, path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.WriteFileAtomic(nil, path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("content = %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+// Every injected failure mode must leave the original content intact
+// and no temp file behind: readers see old-or-new, never a prefix.
+func TestWriteFileAtomicFailureLeavesOriginal(t *testing.T) {
+	plans := map[string]errfs.Plan{
+		"write eio":    {FailWriteAt: 1},
+		"short write":  {ShortWriteAt: 1},
+		"enospc":       {WriteQuota: 2},
+		"fsync eio":    {FailSyncAt: 1},
+		"rename fails": {FailRename: true},
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs := errfs.New(nil, plan)
+			if err := durable.WriteFileAtomic(fs, path, []byte("replacement"), 0o644); err == nil {
+				t.Fatal("injected failure not surfaced")
+			}
+			got, err := os.ReadFile(path)
+			if err != nil || string(got) != "original" {
+				t.Fatalf("original damaged: %q, %v", got, err)
+			}
+			ents, _ := os.ReadDir(dir)
+			for _, e := range ents {
+				if strings.Contains(e.Name(), ".tmp.") {
+					t.Fatalf("temp file left behind: %s", e.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicDirSyncFailureSurfaces(t *testing.T) {
+	// Sync 1 is the temp file's fsync; sync 2 is the directory sync,
+	// which happens after the rename — the new content is in place, but
+	// the caller is told durability was not achieved.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	fs := errfs.New(nil, errfs.Plan{FailSyncAt: 2})
+	if err := durable.WriteFileAtomic(fs, path, []byte("data"), 0o644); err == nil {
+		t.Fatal("dir sync failure not surfaced")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "data" {
+		t.Fatalf("renamed content missing: %q", got)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package durable
+
+import "os"
+
+// Non-unix platforms get no advisory locking; Lock succeeds so the WAL
+// still works, it just cannot exclude a second writer.
+func flockFile(*os.File) error   { return nil }
+func funlockFile(*os.File) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package durable
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockFile takes a non-blocking exclusive flock(2) on the whole file.
+// flock locks belong to the open file description, so two opens of the
+// same path conflict even within one process — exactly what the
+// "two campaigns cannot interleave one checkpoint" contract needs.
+func flockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrLocked
+	}
+	return err
+}
+
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,289 @@
+// Package errfs is a fault-injecting implementation of durable.FS: it
+// wraps a real (or any other) filesystem and makes it misbehave on
+// command. The campaign storage layer claims to survive short writes,
+// ENOSPC, EIO, fsync failure, and processes killed mid-write; errfs is
+// how the tests prove that claim instead of assuming it — the same
+// posture internal/envm takes toward memory cells.
+//
+// Faults are scheduled deterministically through a Plan, so a failing
+// crash-matrix cell reproduces exactly. The crash fault deserves
+// special mention: once the cumulative written bytes reach
+// Plan.CrashAtByte, the write in flight persists only the prefix up to
+// that byte and every subsequent operation fails with ErrCrashed. The
+// file image is thereby frozen mid-write — the exact artifact a kill -9
+// leaves behind — and a "new process" (a fresh FS over the same
+// directory) can then attempt recovery from it.
+package errfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+
+	"repro/internal/durable"
+)
+
+// ErrCrashed is returned by every operation after the crash point: the
+// simulated process is dead and the file image is frozen.
+var ErrCrashed = errors.New("errfs: simulated crash (file image frozen)")
+
+// Fault names, as counted by Fired.
+const (
+	FaultShortWrite = "short_write"
+	FaultWriteEIO   = "write_eio"
+	FaultENOSPC     = "enospc"
+	FaultSyncEIO    = "sync_eio"
+	FaultCrash      = "crash"
+	FaultLock       = "lock"
+	FaultRename     = "rename"
+)
+
+// Plan schedules faults. Zero values disable each fault; op indexes are
+// 1-based and count calls of that kind across the whole FS.
+type Plan struct {
+	// ShortWriteAt makes the Nth Write persist only half its buffer and
+	// return io.ErrShortWrite.
+	ShortWriteAt int
+	// FailWriteAt makes the Nth Write fail with EIO, persisting nothing.
+	FailWriteAt int
+	// FailSyncAt makes the Nth Sync (file or directory) fail with EIO.
+	FailSyncAt int
+	// WriteQuota is the total number of payload bytes the disk accepts
+	// before ENOSPC (<= 0 = unlimited). The write crossing the quota
+	// persists the prefix that fits, like a real full disk.
+	WriteQuota int64
+	// CrashAtByte freezes the file image once cumulative written bytes
+	// reach this threshold (<= 0 = never): the crossing write persists
+	// only the prefix below the threshold, then every later operation
+	// returns ErrCrashed.
+	CrashAtByte int64
+	// FailLock makes every Lock fail with durable.ErrLocked.
+	FailLock bool
+	// FailRename makes every Rename fail with EIO.
+	FailRename bool
+}
+
+// FS implements durable.FS with injected faults. Safe for concurrent
+// use.
+type FS struct {
+	inner durable.FS
+
+	mu       sync.Mutex
+	plan     Plan
+	writeOps int
+	syncOps  int
+	written  int64
+	crashed  bool
+	fired    map[string]int
+}
+
+// New wraps inner (nil = the real filesystem) with the given fault
+// plan.
+func New(inner durable.FS, plan Plan) *FS {
+	if inner == nil {
+		inner = durable.OS()
+	}
+	return &FS{inner: inner, plan: plan, fired: map[string]int{}}
+}
+
+// Fired returns how many times the named fault has fired.
+func (fs *FS) Fired(name string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fired[name]
+}
+
+// Crashed reports whether the crash point has been reached.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// BytesWritten returns the cumulative bytes persisted through this FS.
+func (fs *FS) BytesWritten() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.written
+}
+
+// WriteCalls returns the number of Write operations observed.
+func (fs *FS) WriteCalls() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeOps
+}
+
+// SyncCalls returns the number of Sync operations observed (file and
+// directory).
+func (fs *FS) SyncCalls() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncOps
+}
+
+func (fs *FS) fire(name string) { fs.fired[name]++ }
+
+// OpenFile opens through the inner FS; after the crash point it fails.
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, error) {
+	fs.mu.Lock()
+	crashed := fs.crashed
+	fs.mu.Unlock()
+	if crashed {
+		return nil, &os.PathError{Op: "open", Path: name, Err: ErrCrashed}
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, inner: f}, nil
+}
+
+// Rename delegates, honoring FailRename and the crash point.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return ErrCrashed
+	}
+	if fs.plan.FailRename {
+		fs.fire(FaultRename)
+		fs.mu.Unlock()
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	fs.mu.Unlock()
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// Remove delegates (even after a crash: the harness may clean up).
+func (fs *FS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// Stat delegates, honoring the crash point.
+func (fs *FS) Stat(name string) (os.FileInfo, error) {
+	fs.mu.Lock()
+	crashed := fs.crashed
+	fs.mu.Unlock()
+	if crashed {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: ErrCrashed}
+	}
+	return fs.inner.Stat(name)
+}
+
+// SyncDir counts as a sync op and honors FailSyncAt and the crash
+// point.
+func (fs *FS) SyncDir(dir string) error {
+	if err := fs.syncGate(); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+// syncGate applies the shared sync fault logic.
+func (fs *FS) syncGate() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.syncOps++
+	if fs.plan.FailSyncAt > 0 && fs.syncOps == fs.plan.FailSyncAt {
+		fs.fire(FaultSyncEIO)
+		return syscall.EIO
+	}
+	return nil
+}
+
+// file routes every operation through the FS fault gates.
+type file struct {
+	fs    *FS
+	inner durable.File
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if f.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Read(p)
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	fs.writeOps++
+	if fs.plan.FailWriteAt > 0 && fs.writeOps == fs.plan.FailWriteAt {
+		fs.fire(FaultWriteEIO)
+		return 0, syscall.EIO
+	}
+	if fs.plan.ShortWriteAt > 0 && fs.writeOps == fs.plan.ShortWriteAt {
+		n, _ := f.inner.Write(p[:len(p)/2])
+		fs.written += int64(n)
+		fs.fire(FaultShortWrite)
+		return n, io.ErrShortWrite
+	}
+	if fs.plan.CrashAtByte > 0 && fs.written+int64(len(p)) >= fs.plan.CrashAtByte {
+		keep := fs.plan.CrashAtByte - fs.written
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := f.inner.Write(p[:keep])
+		fs.written += int64(n)
+		fs.crashed = true
+		fs.fire(FaultCrash)
+		return n, ErrCrashed
+	}
+	if fs.plan.WriteQuota > 0 && fs.written+int64(len(p)) > fs.plan.WriteQuota {
+		keep := fs.plan.WriteQuota - fs.written
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := f.inner.Write(p[:keep])
+		fs.written += int64(n)
+		fs.fire(FaultENOSPC)
+		return n, syscall.ENOSPC
+	}
+	n, err := f.inner.Write(p)
+	fs.written += int64(n)
+	return n, err
+}
+
+func (f *file) Sync() error {
+	if err := f.fs.syncGate(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Truncate(size int64) error {
+	if f.fs.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(size)
+}
+
+// Close always reaches the inner file so handles are not leaked, even
+// after a crash.
+func (f *file) Close() error { return f.inner.Close() }
+
+func (f *file) Lock() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return ErrCrashed
+	}
+	if fs.plan.FailLock {
+		fs.fire(FaultLock)
+		fs.mu.Unlock()
+		return durable.ErrLocked
+	}
+	fs.mu.Unlock()
+	return f.inner.Lock()
+}
+
+func (f *file) Unlock() error { return f.inner.Unlock() }

@@ -1,0 +1,218 @@
+package errfs_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/errfs"
+)
+
+func openRW(t *testing.T, fs *errfs.FS, path string) durable.File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// Every fault in the plan vocabulary must demonstrably fire — a fault
+// injector whose faults silently never trigger would make the recovery
+// tests vacuous.
+
+func TestShortWriteFires(t *testing.T) {
+	fs := errfs.New(nil, errfs.Plan{ShortWriteAt: 2})
+	f := openRW(t, fs, filepath.Join(t.TempDir(), "f"))
+	if _, err := f.Write([]byte("full")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, io.ErrShortWrite) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if fs.Fired(errfs.FaultShortWrite) != 1 {
+		t.Fatal("short_write not counted")
+	}
+	if fs.BytesWritten() != 4+3 {
+		t.Fatalf("bytes written = %d, want 7", fs.BytesWritten())
+	}
+}
+
+func TestWriteEIOFires(t *testing.T) {
+	fs := errfs.New(nil, errfs.Plan{FailWriteAt: 1})
+	f := openRW(t, fs, filepath.Join(t.TempDir(), "f"))
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if fs.Fired(errfs.FaultWriteEIO) != 1 {
+		t.Fatal("write_eio not counted")
+	}
+	// Only the designated op fails.
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("later write failed: %v", err)
+	}
+}
+
+func TestENOSPCFiresAtQuota(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := errfs.New(nil, errfs.Plan{WriteQuota: 10})
+	f := openRW(t, fs, path)
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write before ENOSPC: n=%d, want 2", n)
+	}
+	if fs.Fired(errfs.FaultENOSPC) != 1 {
+		t.Fatal("enospc not counted")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "12345678ab" {
+		t.Fatalf("disk image = %q", got)
+	}
+}
+
+func TestSyncEIOFires(t *testing.T) {
+	fs := errfs.New(nil, errfs.Plan{FailSyncAt: 2})
+	f := openRW(t, fs, filepath.Join(t.TempDir(), "f"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO on sync 2, got %v", err)
+	}
+	if fs.Fired(errfs.FaultSyncEIO) != 1 {
+		t.Fatal("sync_eio not counted")
+	}
+	if fs.SyncCalls() != 2 {
+		t.Fatalf("sync calls = %d", fs.SyncCalls())
+	}
+}
+
+func TestSyncDirSharesSyncFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(nil, errfs.Plan{FailSyncAt: 1})
+	if err := fs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if fs.Fired(errfs.FaultSyncEIO) != 1 {
+		t.Fatal("sync_eio not counted for dir sync")
+	}
+}
+
+func TestCrashFreezesFileImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := errfs.New(nil, errfs.Plan{CrashAtByte: 10})
+	f := openRW(t, fs, path)
+	if _, err := f.Write([]byte("123456")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, errfs.ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("crash prefix = %d bytes, want 4", n)
+	}
+	if !fs.Crashed() || fs.Fired(errfs.FaultCrash) != 1 {
+		t.Fatal("crash state not recorded")
+	}
+	// The dead process can do nothing more.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, errfs.ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, errfs.ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, errfs.ErrCrashed) {
+		t.Fatalf("truncate after crash: %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); err == nil {
+		t.Fatal("open after crash succeeded")
+	}
+	if _, err := fs.Stat(path); err == nil {
+		t.Fatal("stat after crash succeeded")
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, errfs.ErrCrashed) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+	// A "new process" (the real fs) sees exactly the frozen 10 bytes.
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "123456abcd" {
+		t.Fatalf("frozen image = %q, %v", got, err)
+	}
+}
+
+func TestLockFaultFires(t *testing.T) {
+	fs := errfs.New(nil, errfs.Plan{FailLock: true})
+	f := openRW(t, fs, filepath.Join(t.TempDir(), "f"))
+	if err := f.Lock(); !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("want ErrLocked, got %v", err)
+	}
+	if fs.Fired(errfs.FaultLock) != 1 {
+		t.Fatal("lock fault not counted")
+	}
+}
+
+func TestRenameFaultFires(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	os.WriteFile(a, []byte("x"), 0o644)
+	fs := errfs.New(nil, errfs.Plan{FailRename: true})
+	if err := fs.Rename(a, b); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if fs.Fired(errfs.FaultRename) != 1 {
+		t.Fatal("rename fault not counted")
+	}
+}
+
+func TestCleanPlanIsTransparent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := errfs.New(nil, errfs.Plan{})
+	f := openRW(t, fs, path)
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("read back %q", buf)
+	}
+	if fi, err := fs.Stat(path); err != nil || fi.Size() != 7 {
+		t.Fatalf("stat: %v", err)
+	}
+	if fs.WriteCalls() != 1 || fs.SyncCalls() != 1 || fs.BytesWritten() != 7 {
+		t.Fatalf("op accounting: writes=%d syncs=%d bytes=%d",
+			fs.WriteCalls(), fs.SyncCalls(), fs.BytesWritten())
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/durable"
 )
 
 // CampaignOptions tunes the resilient campaign-engine variant of the
@@ -28,6 +29,12 @@ type CampaignOptions struct {
 	Checkpoint string
 	// Resume continues from an existing checkpoint at Checkpoint.
 	Resume bool
+	// Fsync is the checkpoint durability policy (zero value =
+	// durable.SyncInterval).
+	Fsync durable.SyncPolicy
+	// LockCheckpoint holds an exclusive lock on the checkpoint so two
+	// campaigns cannot interleave one file.
+	LockCheckpoint bool
 	// Progress, when non-nil, receives a periodic status line (trial
 	// counts, trials/s, ETA, worst CI half-width) every ProgressEvery.
 	Progress io.Writer
@@ -87,6 +94,8 @@ func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions
 		TrialTimeout:   opt.TrialTimeout,
 		CheckpointPath: opt.Checkpoint,
 		Resume:         opt.Resume,
+		Fsync:          opt.Fsync,
+		LockCheckpoint: opt.LockCheckpoint,
 		Progress:       opt.Progress,
 		ProgressEvery:  opt.ProgressEvery,
 	})
@@ -94,6 +103,9 @@ func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions
 		return err
 	}
 	res, runErr := c.Run(ctx)
+	if res == nil {
+		return runErr // hard storage failure (e.g. checkpoint lock held)
+	}
 
 	fmt.Fprintf(w, "Figure 5 (campaign): measured classification error delta per structure (TinyCNN stand-in, baseline err %.3f)\n",
 		ev.BaselineErr)

@@ -24,10 +24,12 @@ package telemetry
 //	}
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
-	"os"
 	"time"
+
+	"repro/internal/durable"
 )
 
 // HistogramSnapshot is the exported state of one histogram. Values are
@@ -113,16 +115,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// WriteJSONFile atomically-ish dumps the snapshot to path (truncating an
-// existing file). Used by the CLIs' -metrics flag on exit and on SIGINT.
+// WriteJSONFile atomically dumps the snapshot to path: the bytes land in
+// a same-directory temp file that is fsynced and renamed over the target,
+// so a reader (or a crash mid-dump) sees the old snapshot or the new one,
+// never a prefix. Used by the CLIs' -metrics flag on exit and on SIGINT.
 func (r *Registry) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
 		return err
 	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.WriteFileAtomic(nil, path, buf.Bytes(), 0o644)
 }
