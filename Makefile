@@ -4,6 +4,9 @@
 #                  the concurrency-heavy packages (the seed contract)
 #   make race    - tier 2: go vet + race detector on a fast test pass
 #   make cover   - per-package coverage floors on the core packages
+#   make fleet-crash - the fleet fault matrix: lease races, zombie
+#                  fencing, crash-between-claim-and-record, and the
+#                  kill -9 subprocess recovery test, under -race
 #   make fuzz    - short fuzz pass over the sparse decode and
 #                  checkpoint-loader targets
 #   make bench   - full benchmark harness (regenerates every figure)
@@ -22,9 +25,9 @@ FUZZTIME ?= 10s
 # package rather than aggregate so an untested package cannot hide
 # behind a well-tested one.
 COVER_FLOOR ?= 70
-COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet
 
-.PHONY: all check build test race race-fast vet cover fuzz bench bench-inference clean
+.PHONY: all check build test race race-fast vet cover fuzz fleet-crash bench bench-inference bench-fleet clean
 
 all: check race
 
@@ -47,11 +50,19 @@ race: vet
 	$(GO) test -race ./internal/campaign/... ./internal/stats/...
 
 # The telemetry registry, the instrumented campaign engine, the replica
-# pool, and the parallel tensor kernels are the most
-# concurrency-sensitive pieces; they get a dedicated race pass in tier 1
-# so a data race cannot land even when the full race tier is skipped.
+# pool, the fleet lease protocol, and the parallel tensor kernels are
+# the most concurrency-sensitive pieces; they get a dedicated race pass
+# in tier 1 so a data race cannot land even when the full race tier is
+# skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/...
+
+# The fleet fault matrix, repeated to shake out schedule-dependent
+# flakes: claim races, expiry steals with zombie fencing, simulated
+# crashes between claim and first record, double merges, and the real
+# kill -9 subprocess recovery test.
+fleet-crash:
+	$(GO) test -race -count=3 ./internal/fleet/
 
 cover:
 	@fail=0; \
@@ -84,6 +95,15 @@ bench:
 bench-inference:
 	$(GO) test -run '^$$' -bench 'TrialThroughput|ForwardAllocFree' -benchmem -benchtime=2s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_inference.json
+
+# The tracked fleet baseline: end-to-end fleet runs at 1/2/4 workers vs
+# the same campaign without the fleet, plus the raw lease-cycle cost,
+# written to BENCH_fleet.json. On a single-core container the worker
+# counts share one core and trials/s stays flat; the tracked signal is
+# fleet overhead vs the baseline row (see internal/fleet/bench_test.go).
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'Fleet' -benchmem -benchtime=2s ./internal/fleet/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_fleet.json
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,361 @@
+// Command campaignd coordinates fault-injection campaign fleets: it
+// cuts a campaign into shards (plan), runs lease-claiming workers
+// against the shared fleet directory (work), folds completed shard WALs
+// into one deterministic result (merge), and reports live shard state
+// (status).
+//
+// A fleet directory is the only coordination channel: any number of
+// worker processes — on one machine or many sharing a filesystem —
+// point at it and claim shards through flock-held lease files. Workers
+// may be killed (even kill -9) at any moment; their shards are stolen
+// and the merged result is bit-identical to an uninterrupted
+// single-process run.
+//
+// Usage:
+//
+//	campaignd plan -dir fleet/ -spec synth -configs a,b -trials 64 -shard-size 8
+//	campaignd work -dir fleet/ -name w1 &
+//	campaignd work -dir fleet/ -name w2 &
+//	campaignd status -dir fleet/
+//	campaignd merge -dir fleet/
+//
+// The -spec kind is recorded in the manifest so every worker rebuilds
+// the identical trial function:
+//
+//	synth  deterministic synthetic trials (protocol testing, benchmarks)
+//	fig5   the paper's Figure 5 measured-model campaign (each worker
+//	       trains the same model from the recorded seed)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cliutil"
+	"repro/internal/exper"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignd: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "plan":
+		cmdPlan(os.Args[2:])
+	case "work":
+		cmdWork(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "campaignd: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: campaignd <subcommand> [flags]
+
+  plan    cut a campaign into shards and write the fleet manifest
+  work    run one worker: claim shards, execute trials, steal dead leases
+  merge   fold completed shard WALs into the campaign result
+  status  report per-shard lease state and record counts
+
+run "campaignd <subcommand> -h" for flags`)
+}
+
+// specKinds the work subcommand can rebuild a RunFunc for.
+const (
+	specSynth = "synth"
+	specFig5  = "fig5"
+)
+
+// synthSpec parameterizes the synthetic trial function.
+type synthSpec struct {
+	// SleepMS stretches every trial so lease/steal behavior is
+	// observable at human timescales.
+	SleepMS int `json:"sleep_ms,omitempty"`
+}
+
+// fig5Spec records how to rebuild the Figure 5 environment.
+type fig5Spec struct {
+	EnvSeed uint64 `json:"env_seed"`
+}
+
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("campaignd plan", flag.ExitOnError)
+	dir := fs.String("dir", "", "fleet directory (created; must not already hold a manifest)")
+	spec := fs.String("spec", specSynth, "trial function: synth|fig5")
+	name := fs.String("name", "", "campaign label for status output")
+	seed := fs.Uint64("seed", 1, "campaign seed (fig5: the experiment-environment seed)")
+	configs := fs.String("configs", "", "comma-separated config IDs (synth only; fig5 configs are fixed)")
+	trials := fs.Int("trials", 12, "maximum trials per config")
+	minTrials := fs.Int("min-trials", 0, "trials before early stopping may trigger")
+	ciTarget := fs.Float64("ci-target", 0, "early-stop 95% CI half-width target, applied at merge time (0 = full budget)")
+	confidence := fs.Float64("confidence", 0, "CI confidence level (0 = engine default 0.95)")
+	shardSize := fs.Int("shard-size", 0, "maximum trials per shard (0 = one shard per config)")
+	sleepMS := fs.Int("sleep-ms", 0, "synth: per-trial sleep in milliseconds")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("plan: -dir is required")
+	}
+
+	ps := fleet.PlanSpec{
+		Dir: *dir, Name: *name,
+		MaxTrials: *trials, MinTrials: *minTrials,
+		CITarget: *ciTarget, Confidence: *confidence,
+		ShardSize: *shardSize,
+		SpecKind:  *spec,
+	}
+	switch *spec {
+	case specSynth:
+		ps.Seed = *seed
+		ps.Configs = splitList(*configs)
+		if len(ps.Configs) == 0 {
+			log.Fatal("plan: -spec synth requires -configs")
+		}
+		raw, err := json.Marshal(synthSpec{SleepMS: *sleepMS})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps.Spec = raw
+	case specFig5:
+		// Mirror Env.Fig5Campaign: the campaign seed is the environment
+		// seed plus the fixed offset, so fleet results are bit-identical
+		// to "maxnvm -fig 5c" at the same -seed.
+		ps.Seed = *seed + 99
+		ps.Configs = exper.Fig5Configs()
+		raw, err := json.Marshal(fig5Spec{EnvSeed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps.Spec = raw
+	default:
+		log.Fatalf("plan: unknown -spec %q (want synth or fig5)", *spec)
+	}
+
+	m, err := fleet.Plan(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %d shard(s) over %d config(s), %d trials each, into %s\n",
+		len(m.Shards), len(m.Configs), m.MaxTrials, *dir)
+	fmt.Printf("start workers with: campaignd work -dir %s\n", *dir)
+}
+
+// runFuncFor rebuilds the trial function the manifest records. Every
+// worker process must end up with the same pure function, or the
+// bit-identical merge contract breaks — which the merge then reports as
+// determinism violations.
+func runFuncFor(m *fleet.Manifest) (campaign.RunFunc, error) {
+	switch m.SpecKind {
+	case specSynth:
+		var s synthSpec
+		if len(m.Spec) > 0 {
+			if err := json.Unmarshal(m.Spec, &s); err != nil {
+				return nil, fmt.Errorf("campaignd: synth spec: %w", err)
+			}
+		}
+		sleep := time.Duration(s.SleepMS) * time.Millisecond
+		return func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+			if sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return campaign.Sample{}, ctx.Err()
+				}
+			}
+			src := stats.NewSource(t.Seed)
+			return campaign.Sample{
+				Value: src.Gaussian(1, 0.25),
+				Extra: map[string]float64{"faults": float64(src.Intn(100))},
+			}, nil
+		}, nil
+	case specFig5:
+		var s fig5Spec
+		if err := json.Unmarshal(m.Spec, &s); err != nil {
+			return nil, fmt.Errorf("campaignd: fig5 spec: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "campaignd: training measured model (TinyCNN on synthetic data)...")
+		return exper.NewEnv(s.EnvSeed).Fig5Runner()
+	default:
+		return nil, fmt.Errorf("campaignd: manifest spec kind %q is not workable by this binary "+
+			"(inline fleets embed their trial function in the planning process)", m.SpecKind)
+	}
+}
+
+func cmdWork(args []string) {
+	fs := flag.NewFlagSet("campaignd work", flag.ExitOnError)
+	dir := fs.String("dir", "", "fleet directory")
+	name := fs.String("name", "", "worker name in leases and logs (default w<pid>)")
+	ttl := fs.Duration("ttl", 10*time.Second, "lease staleness bound this worker declares")
+	heartbeat := fs.Duration("heartbeat", 0, "lease renewal interval (0 = ttl/4)")
+	poll := fs.Duration("poll", 0, "idle re-scan interval (0 = default 200ms)")
+	wait := fs.Bool("wait", true, "keep polling (and stealing expired leases) until every shard is done")
+	workers := fs.Int("workers", 0, "concurrent trial workers per shard (0 = auto)")
+	progress := fs.Duration("progress", 5*time.Second, "progress-line interval on stderr (0 = silent)")
+	tel := cliutil.AddFlagsTo(fs)
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("work: -dir is required")
+	}
+	tel.Start()
+	defer tel.Dump()
+
+	m, err := fleet.LoadManifest(nil, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := runFuncFor(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := cliutil.NotifyContext(context.Background())
+	defer stop()
+
+	opt := fleet.WorkerOptions{
+		Dir: *dir, Name: *name, Run: run,
+		TTL: *ttl, Heartbeat: *heartbeat, Poll: *poll,
+		WaitForAll: *wait, Workers: *workers,
+		Fsync: tel.SyncPolicy(), Log: os.Stderr,
+	}
+	if *progress > 0 {
+		opt.Progress = os.Stderr
+		opt.ProgressEvery = *progress
+	}
+	rep, err := fleet.Work(ctx, opt)
+	if rep != nil {
+		fmt.Printf("worker done: %d shard(s) completed (%d stolen), %d trials executed, %d inherited, %d lost to fencing\n",
+			len(rep.Completed), rep.Stolen, rep.Trials, rep.Reused, rep.Fenced)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("interrupted: completed trials are in the shard WALs; restart to continue")
+			tel.Dump() // os.Exit skips the deferred dump
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("campaignd merge", flag.ExitOnError)
+	dir := fs.String("dir", "", "fleet directory")
+	partial := fs.Bool("partial", false, "fold whatever records exist even if shards are incomplete")
+	asJSON := fs.Bool("json", false, "emit the merged result as JSON on stdout")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("merge: -dir is required")
+	}
+
+	rep, err := fleet.Merge(fleet.MergeOptions{Dir: *dir, AllowPartial: *partial, Log: os.Stderr})
+	if err != nil {
+		if !*partial && strings.Contains(err.Error(), "incomplete") {
+			log.Fatalf("%v (use -partial to fold what exists)", err)
+		}
+		log.Fatal(err)
+	}
+	res := rep.Result
+	if *asJSON {
+		out := struct {
+			Result *campaign.Result   `json:"result"`
+			Fleet  *fleet.MergeReport `json:"fleet"`
+		}{res, rep}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("merged %d record(s) from %d/%d shard(s) (%d duplicate(s) collapsed, %d torn line(s) skipped)\n",
+		rep.Records, rep.Done, rep.Shards, rep.Duplicates, rep.TornLines)
+	if rep.Mismatches > 0 {
+		fmt.Printf("WARNING: %d determinism violation(s) — the trial function differed between workers\n", rep.Mismatches)
+	}
+	for _, cr := range res.Configs {
+		note := ""
+		if cr.EarlyStopped {
+			note = "  [early stop]"
+		}
+		if len(cr.Errors) > 0 {
+			note += fmt.Sprintf("  [%d failed trials]", len(cr.Errors))
+		}
+		fmt.Printf("  %-30s mean %.6g ±%.4g  worst %.6g  n=%d%s\n",
+			cr.Config, cr.Mean, cr.CIHalf, cr.Max, cr.N, note)
+	}
+	if res.Interrupted {
+		fmt.Println("partial merge: coverage holes remain; finish the fleet and merge again")
+	}
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("campaignd status", flag.ExitOnError)
+	dir := fs.String("dir", "", "fleet directory")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("status: -dir is required")
+	}
+
+	m, shards, err := fleet.Status(nil, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := m.Name
+	if label == "" {
+		label = m.SpecKind
+	}
+	complete := 0
+	fmt.Printf("%-7s %-24s %-11s %-9s %-6s %-12s %-8s %s\n",
+		"shard", "config", "trials", "state", "epoch", "owner", "hb age", "records")
+	for _, st := range shards {
+		if st.State == fleet.StateComplete {
+			complete++
+		}
+		hb := "-"
+		if st.Owner != "" {
+			hb = st.HBAge.Round(time.Millisecond).String()
+		}
+		owner := st.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Printf("%-7s %-24s %4d-%-6d %-9s %-6d %-12s %-8s %d/%d\n",
+			st.Shard.ID, st.Shard.Config, st.Shard.Lo, st.Shard.Hi,
+			st.State, st.Epoch, owner, hb, st.Records, st.Shard.Hi-st.Shard.Lo)
+	}
+	fmt.Printf("campaign %q: %d/%d shard(s) complete\n", label, complete, len(shards))
+	if complete == len(shards) {
+		fmt.Printf("all shards done: campaignd merge -dir %s\n", *dir)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -63,6 +63,8 @@ func main() {
 	scrubInterval := flag.Float64("scrub-interval", 0, "years between scrub rewrites in lifetime mode (0 = let the scheduler choose, negative = never scrub)")
 	protect := flag.Float64("protect", 0, "criticality-aware protection budget: extra cells as a fraction of the baseline (0 = keep the -ecc/-slc flags as given)")
 	degrade := flag.Bool("degrade", false, "zero uncorrectable ECC blocks instead of decoding their corrupt bits")
+	fleetN := flag.Int("fleet", 0, "run the campaign as an N-worker single-machine fleet (lease-claimed shards, kill-safe, bit-identical merge)")
+	fleetDir := flag.String("fleet-dir", "", "fleet directory for -fleet (default: a temporary directory; an existing fleet dir is resumed)")
 	tel := cliutil.AddFlags()
 	flag.Parse()
 	tel.Start()
@@ -168,6 +170,9 @@ func main() {
 	}
 
 	if *lifetimeYears > 0 {
+		if *fleetN > 0 {
+			log.Fatal("faultsim: -fleet does not support -lifetime-years (one lifetime trial spans every epoch config; run it single-process)")
+		}
 		code := runLifetime(ctx, ev, m, cfg, opt, lifetimeArgs{
 			years:      *lifetimeYears,
 			interval:   *scrubInterval,
@@ -201,16 +206,29 @@ func main() {
 			},
 		}, nil
 	}
-	c, err := campaign.New([]string{label}, run, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	res, runErr := c.Run(ctx)
-	if runErr != nil && (res == nil || !res.Interrupted) {
-		log.Fatal(runErr)
+	var res *campaign.Result
+	var runErr error
+	if *fleetN > 0 {
+		// Fleet mode: the trial space is cut into lease-claimed shards run
+		// by N in-process workers. Completed trials live in shard WALs, so
+		// a killed run resumes from -fleet-dir; the merge is bit-identical
+		// to the single-campaign path.
+		res, runErr = cliutil.FleetRun(ctx, *fleetN, *fleetDir, []string{label}, run, opt)
+		if runErr != nil {
+			log.Fatal(runErr)
+		}
+	} else {
+		c, err := campaign.New([]string{label}, run, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, runErr = c.Run(ctx)
+		if runErr != nil && (res == nil || !res.Interrupted) {
+			log.Fatal(runErr)
+		}
+		printRecovery(c)
 	}
-	printRecovery(c)
 
 	cr := res.Config(label)
 	fmt.Printf("\ncampaign: %d trials executed, %d reused from checkpoint, %d skipped by early stop (%.1fs)\n",

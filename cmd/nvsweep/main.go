@@ -49,6 +49,8 @@ func main() {
 	maxTrials := flag.Int("max-trials", 1, "samples per organization (the analytic model is deterministic; >1 only re-verifies)")
 	ciTarget := flag.Float64("ci-target", 0, "early-stop CI half-width target when -max-trials > 1")
 	progress := flag.Duration("progress", 0, "progress-line interval on stderr (0 = silent)")
+	fleetN := flag.Int("fleet", 0, "run the sweep as an N-worker single-machine fleet (lease-claimed shards, kill-safe, bit-identical merge)")
+	fleetDir := flag.String("fleet-dir", "", "fleet directory for -fleet (default: a temporary directory; an existing fleet dir is resumed)")
 	tel := cliutil.AddFlags()
 	flag.Parse()
 	tel.Start()
@@ -144,13 +146,22 @@ func main() {
 		opt.Progress = os.Stderr
 		opt.ProgressEvery = *progress
 	}
-	c, err := campaign.New(labels, run, opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, runErr := c.Run(ctx)
-	if runErr != nil && (res == nil || !res.Interrupted) {
-		log.Fatal(runErr)
+	var res *campaign.Result
+	var runErr error
+	if *fleetN > 0 {
+		res, runErr = cliutil.FleetRun(ctx, *fleetN, *fleetDir, labels, run, opt)
+		if runErr != nil {
+			log.Fatal(runErr)
+		}
+	} else {
+		c, err := campaign.New(labels, run, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, runErr = c.Run(ctx)
+		if runErr != nil && (res == nil || !res.Interrupted) {
+			log.Fatal(runErr)
+		}
 	}
 
 	var points []nvsim.Result

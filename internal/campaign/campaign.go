@@ -174,6 +174,35 @@ type Options struct {
 	// (trial counters, trial latency, checkpoint flush latency, early-stop
 	// decisions). Nil means telemetry.Default().
 	Metrics *telemetry.Registry
+	// Spans restricts execution to per-config trial sub-ranges. Each
+	// entry names a config from the campaign's config list and covers
+	// trials [Lo, Hi); configs without a span cover the full
+	// [0, MaxTrials). At most one span per config. Seeds still derive
+	// from (Seed, config, absolute trial index), so a span run produces
+	// the exact records the same trials produce in a full run — the
+	// contract the fleet shard workers are built on. Early stopping
+	// (CITarget) over a span that does not start at 0 acts on the span's
+	// own prefix, not the config's; fleet workers therefore run with
+	// CITarget 0 and leave the stopping decision to the merge fold.
+	Spans []Span
+	// Preload seeds the replay set with externally loaded records (e.g.
+	// read from another worker's shard checkpoint via ReadCheckpoint)
+	// before any trial executes. Records failing the seed derivation for
+	// (Seed, config, trial), referencing unknown configs, or carrying no
+	// outcome are ignored, exactly like checkpoint records. Preloaded
+	// records count toward Result.Reused and are not re-appended to this
+	// campaign's checkpoint.
+	Preload []*Record
+	// Identity, when non-empty, prefixes every progress and warning line
+	// with "[identity] " so interleaved stderr from several workers on
+	// one machine stays attributable (e.g. "w3/shard s0007").
+	Identity string
+}
+
+// Span is a per-config trial sub-range [Lo, Hi). See Options.Spans.
+type Span struct {
+	Config string
+	Lo, Hi int
 }
 
 func (o Options) withDefaults() Options {
@@ -272,6 +301,7 @@ type configState struct {
 	agg     stats.Welford
 	extra   map[string]float64 // running sums over successful trials
 	errs    []*TrialError
+	lo, hi  int // scheduled trial range [lo, hi) (a span, or [0, MaxTrials))
 	next    int // next trial index to fold
 	pending map[int]*Record
 	stopped bool // early-stop decided (no further folds or dispatches)
@@ -301,11 +331,17 @@ type trialKey struct {
 // New validates options, loads the checkpoint when resuming, and returns
 // a ready campaign.
 func New(configs []string, run RunFunc, opt Options) (*Campaign, error) {
-	if len(configs) == 0 {
-		return nil, errors.New("campaign: no configs")
-	}
 	if run == nil {
 		return nil, errors.New("campaign: nil RunFunc")
+	}
+	return newCampaign(configs, run, opt)
+}
+
+// newCampaign is New without the RunFunc requirement, shared with Fold
+// (which never executes a trial).
+func newCampaign(configs []string, run RunFunc, opt Options) (*Campaign, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("campaign: no configs")
 	}
 	opt = opt.withDefaults()
 	if opt.MaxTrials <= 0 {
@@ -333,14 +369,46 @@ func New(configs []string, run RunFunc, opt Options) (*Campaign, error) {
 		met:     newEngineMetrics(reg),
 	}
 	for _, id := range c.configs {
-		c.state[id] = &configState{name: id, extra: map[string]float64{}, pending: map[int]*Record{}}
+		c.state[id] = &configState{name: id, hi: opt.MaxTrials, extra: map[string]float64{}, pending: map[int]*Record{}}
+	}
+	spanned := map[string]bool{}
+	for _, sp := range opt.Spans {
+		st := c.state[sp.Config]
+		if st == nil {
+			return nil, fmt.Errorf("campaign: span references unknown config %q", sp.Config)
+		}
+		if spanned[sp.Config] {
+			return nil, fmt.Errorf("campaign: config %q has more than one span", sp.Config)
+		}
+		if sp.Lo < 0 || sp.Lo >= sp.Hi || sp.Hi > opt.MaxTrials {
+			return nil, fmt.Errorf("campaign: config %q span [%d, %d) outside [0, %d)",
+				sp.Config, sp.Lo, sp.Hi, opt.MaxTrials)
+		}
+		spanned[sp.Config] = true
+		st.lo, st.hi, st.next = sp.Lo, sp.Hi, sp.Lo
+	}
+	if len(opt.Preload) > 0 {
+		c.preload = map[trialKey]*Record{}
+		for _, rec := range opt.Preload {
+			if usableRecord(rec, opt.Seed) && c.state[rec.Config] != nil {
+				c.preload[trialKey{rec.Config, rec.Trial}] = rec
+			}
+		}
 	}
 	if opt.Resume && opt.CheckpointPath != "" {
 		pre, info, err := loadCheckpoint(opt.FS, opt.CheckpointPath, opt.Seed, c.warnWriter(), c.met)
 		if err != nil {
 			return nil, err
 		}
-		c.preload = pre
+		if c.preload == nil {
+			c.preload = pre
+		} else {
+			// Checkpoint records win over Options.Preload duplicates; under
+			// the determinism contract both carry identical bits anyway.
+			for k, v := range pre {
+				c.preload[k] = v
+			}
+		}
 		c.recovery = RecoveryInfo{
 			Resumed:       true,
 			Replayed:      len(pre),
@@ -357,12 +425,41 @@ func (c *Campaign) Recovery() RecoveryInfo { return c.recovery }
 
 // warnWriter is where the engine reports non-fatal storage trouble
 // (torn checkpoint lines, degradation). Options.Log when set, else
-// stderr: a corrupted checkpoint must never be invisible.
+// stderr: a corrupted checkpoint must never be invisible. With
+// Options.Identity set, every line carries the "[identity] " prefix so
+// multi-worker stderr stays attributable.
 func (c *Campaign) warnWriter() io.Writer {
-	if c.opt.Log != nil {
-		return c.opt.Log
+	w := c.opt.Log
+	if w == nil {
+		w = os.Stderr
 	}
-	return os.Stderr
+	if p := c.idPrefix(); p != "" {
+		return &prefixWriter{w: w, prefix: p}
+	}
+	return w
+}
+
+// idPrefix renders Options.Identity as a line prefix ("" when unset).
+func (c *Campaign) idPrefix() string {
+	if c.opt.Identity == "" {
+		return ""
+	}
+	return "[" + c.opt.Identity + "] "
+}
+
+// prefixWriter prepends a fixed prefix to every Write. The engine's
+// warn and progress writers emit one full line per Write call, so the
+// prefix lands at the start of each line.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	if _, err := io.WriteString(p.w, p.prefix); err != nil {
+		return 0, err
+	}
+	return p.w.Write(b)
 }
 
 // degrade switches the campaign into no-durability mode after a storage
@@ -478,9 +575,10 @@ func (c *Campaign) replayPreloaded() int {
 			}
 		}
 		sort.Ints(idxs)
+		st := c.state[id]
 		for _, t := range idxs {
-			if t >= c.opt.MaxTrials {
-				continue // budget shrank since the checkpoint was written
+			if t < st.lo || t >= st.hi {
+				continue // outside the scheduled range (shrunk budget or foreign span)
 			}
 			c.fold(c.preload[trialKey{id, t}])
 			n++
@@ -493,7 +591,8 @@ func (c *Campaign) replayPreloaded() int {
 func (c *Campaign) produce(ctx context.Context, specs chan<- Trial) {
 	defer close(specs)
 	for _, id := range c.configs {
-		for t := 0; t < c.opt.MaxTrials; t++ {
+		st := c.state[id]
+		for t := st.lo; t < st.hi; t++ {
 			if _, ok := c.preload[trialKey{id, t}]; ok {
 				continue
 			}
@@ -581,8 +680,11 @@ func (c *Campaign) attempt(ctx context.Context, spec Trial) (rec *Record) {
 		if !IsTransient(err) {
 			return failure(spec, KindError, err, attempts)
 		}
-		// Transient: back off (cancellable) and retry.
-		backoff := c.opt.Backoff << uint(attempts-1)
+		// Transient: back off (cancellable) and retry. Full jitter keeps
+		// fleet workers that trip over one shared fault (a slow shared
+		// disk, a saturated lease directory) from retrying in lockstep;
+		// deriving it from the trial seed keeps replays deterministic.
+		backoff := retryBackoff(c.opt.Backoff, spec.Seed, attempts)
 		timer := time.NewTimer(backoff)
 		select {
 		case <-timer.C:
@@ -661,8 +763,8 @@ func (c *Campaign) fold(rec *Record) {
 	}
 	c.statesMu.Lock()
 	defer c.statesMu.Unlock()
-	if st.stopped || rec.Trial < st.next {
-		return // past the early-stop point or a duplicate
+	if st.stopped || rec.Trial < st.next || rec.Trial >= st.hi {
+		return // past the early-stop point, a duplicate, or outside the span
 	}
 	st.pending[rec.Trial] = rec
 	for {
@@ -711,8 +813,8 @@ func (c *Campaign) finalize(res *Result) {
 			EarlyStopped: st.stopped,
 		}
 		if st.stopped {
-			res.Skipped += c.opt.MaxTrials - st.next
-		} else if st.next+len(st.pending) < c.opt.MaxTrials {
+			res.Skipped += st.hi - st.next
+		} else if st.next+len(st.pending) < st.hi {
 			res.Interrupted = true
 		}
 		if st.agg.N() > 0 && len(st.extra) > 0 {

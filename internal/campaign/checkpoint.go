@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/durable"
@@ -224,14 +225,8 @@ func loadCheckpoint(fsys durable.FS, path string, seed uint64, logw io.Writer, m
 			warnf("campaign: checkpoint %s line %d: undecodable record; skipping", path, ln.Num)
 			continue
 		}
-		if rec.Config == "" || rec.Trial < 0 {
+		if !usableRecord(&rec, seed) {
 			continue
-		}
-		if rec.Sample == nil && rec.ErrKind == "" {
-			continue // carries no outcome: not a replayable record
-		}
-		if rec.Seed != TrialSeed(seed, rec.Config, rec.Trial) {
-			continue // stale record from an incompatible derivation
 		}
 		out[trialKey{rec.Config, rec.Trial}] = &rec
 	}
@@ -244,4 +239,59 @@ func reportTorn(met *engineMetrics, info *loadInfo) {
 	if met != nil && info.TornLines > 0 {
 		met.ckptTorn.Add(int64(info.TornLines))
 	}
+}
+
+// usableRecord reports whether rec is a replayable outcome for a
+// campaign with the given base seed: it names a config, carries an
+// outcome, and its seed matches the deterministic derivation — the
+// filter that keeps a checkpoint (or an externally preloaded record
+// set) from poisoning a campaign with foreign results.
+func usableRecord(rec *Record, seed uint64) bool {
+	if rec == nil || rec.Config == "" || rec.Trial < 0 {
+		return false
+	}
+	if rec.Sample == nil && rec.ErrKind == "" {
+		return false // carries no outcome: not a replayable record
+	}
+	return rec.Seed == TrialSeed(seed, rec.Config, rec.Trial)
+}
+
+// CheckpointInfo summarizes one ReadCheckpoint pass.
+type CheckpointInfo struct {
+	// Records counts the usable records returned.
+	Records int
+	// TornLines counts corrupt or undecodable interior lines skipped.
+	TornLines int
+	// TornTailBytes is the size of the unusable tail (ReadCheckpoint
+	// does not repair it; only an appending open does).
+	TornTailBytes int64
+}
+
+// ReadCheckpoint loads the usable records of a checkpoint file without
+// opening it for writing: the fleet coordinator reads completed shard
+// WALs this way, and a fleet worker reads the WALs earlier lease epochs
+// left behind. The records are validated exactly like a resume load
+// (header seed and version, per-record seed derivation, CRC framing)
+// and returned sorted by (config, trial). A missing file is not an
+// error: it returns no records, the torn-tail of a killed writer is
+// simply not read, and interior corruption is logged to logw and
+// counted. A nil fsys reads the real filesystem.
+func ReadCheckpoint(fsys durable.FS, path string, seed uint64, logw io.Writer) ([]*Record, CheckpointInfo, error) {
+	recs, info, err := loadCheckpoint(fsys, path, seed, logw, nil)
+	ci := CheckpointInfo{}
+	if err != nil {
+		return nil, ci, err
+	}
+	ci = CheckpointInfo{Records: info.Records, TornLines: info.TornLines, TornTailBytes: info.TornTailBytes}
+	out := make([]*Record, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		return out[i].Trial < out[j].Trial
+	})
+	return out, ci, nil
 }

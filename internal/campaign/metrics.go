@@ -88,7 +88,11 @@ func (c *Campaign) progressLoop(stop <-chan struct{}, w io.Writer, done *atomic.
 	if every <= 0 {
 		every = 5 * time.Second
 	}
-	total := len(c.configs) * c.opt.MaxTrials
+	total := 0
+	for _, st := range c.state {
+		total += st.hi - st.lo
+	}
+	pfx := c.idPrefix()
 	start := time.Now()
 	tick := time.NewTicker(every)
 	defer tick.Stop()
@@ -111,7 +115,7 @@ func (c *Campaign) progressLoop(stop <-chan struct{}, w io.Writer, done *atomic.
 			eta = time.Duration(left * float64(time.Second)).Round(time.Second).String()
 		}
 		worstCI, worstCfg := c.worstCI()
-		line := fmt.Sprintf("campaign: %d/%d trials, %.1f trials/s, ETA %s", covered, total, rate, eta)
+		line := fmt.Sprintf("%scampaign: %d/%d trials, %.1f trials/s, ETA %s", pfx, covered, total, rate, eta)
 		if worstCfg != "" {
 			line += fmt.Sprintf(", worst CI ±%.4g (%s)", worstCI, worstCfg)
 		}
@@ -126,7 +130,7 @@ func (c *Campaign) skippedSoFar() int {
 	n := 0
 	for _, st := range c.state {
 		if st.stopped {
-			n += c.opt.MaxTrials - st.next
+			n += st.hi - st.next
 		}
 	}
 	return n

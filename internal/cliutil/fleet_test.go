@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+func fleetTestRun(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+	src := stats.NewSource(t.Seed)
+	return campaign.Sample{Value: src.Gaussian(1, 0.25)}, nil
+}
+
+// TestFleetRunMatchesSingleCampaign: the -fleet N path produces the
+// same aggregates as the plain campaign path, and an explicit fleet
+// directory is kept and resumable.
+func TestFleetRunMatchesSingleCampaign(t *testing.T) {
+	configs := []string{"x", "y"}
+	opt := campaign.Options{Seed: 5, MaxTrials: 10, Metrics: telemetry.NewRegistry()}
+
+	c, err := campaign.New(configs, fleetTestRun, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "fleet")
+	got, err := FleetRun(context.Background(), 3, dir, configs, fleetTestRun, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Configs {
+		w, g := want.Configs[i], got.Configs[i]
+		if w.Config != g.Config || w.N != g.N || w.Mean != g.Mean || w.CIHalf != g.CIHalf {
+			t.Fatalf("fleet aggregate mismatch for %q:\n  %+v\nvs\n  %+v", w.Config, w, g)
+		}
+	}
+
+	// The explicit directory survives and a second FleetRun resumes it
+	// (every shard already done) to the identical result.
+	again, err := FleetRun(context.Background(), 2, dir, configs, fleetTestRun, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Configs[0].Mean != want.Configs[0].Mean || again.Executed != 0 {
+		t.Fatalf("resumed fleet re-executed work: %+v", again)
+	}
+}
+
+// TestFleetRunTempDir: with no explicit directory, FleetRun uses a
+// temporary one and removes it on success.
+func TestFleetRunTempDir(t *testing.T) {
+	opt := campaign.Options{Seed: 2, MaxTrials: 4, Metrics: telemetry.NewRegistry()}
+	res, err := FleetRun(context.Background(), 2, "", []string{"only"}, fleetTestRun, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs[0].N != 4 {
+		t.Fatalf("n = %d, want 4", res.Configs[0].N)
+	}
+}

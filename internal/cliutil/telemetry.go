@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
@@ -26,6 +27,7 @@ type Telemetry struct {
 	pprofAddr   string
 	fsync       durable.SyncPolicy
 	lock        bool
+	lockWarned  bool
 	reg         *telemetry.Registry
 }
 
@@ -64,8 +66,26 @@ func AddFlagsTo(fs *flag.FlagSet) *Telemetry {
 // flag was given).
 func (t *Telemetry) SyncPolicy() durable.SyncPolicy { return t.fsync }
 
-// LockCheckpoint returns the -lock choice (true by default).
-func (t *Telemetry) LockCheckpoint() bool { return t.lock }
+// lockSupported and lockWarnWriter are seams so tests can exercise the
+// unsupported-platform warning on any platform.
+var (
+	lockSupported  = durable.LockSupported
+	lockWarnWriter io.Writer = os.Stderr
+)
+
+// LockCheckpoint returns the -lock choice (true by default). When
+// locking is requested but the platform cannot enforce it, the first
+// call warns loudly: the run proceeds, but a second concurrent campaign
+// would not be excluded from the checkpoint.
+func (t *Telemetry) LockCheckpoint() bool {
+	if t.lock && !lockSupported && !t.lockWarned {
+		t.lockWarned = true
+		fmt.Fprintln(lockWarnWriter,
+			"WARNING: -lock requested but this platform has no exclusive file locking; "+
+				"a second campaign writing the same checkpoint would NOT be excluded")
+	}
+	return t.lock
+}
 
 // NotifyContext returns a context cancelled on SIGINT or SIGTERM: the
 // shared graceful-shutdown contract of the repro CLIs (the campaign

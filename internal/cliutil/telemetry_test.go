@@ -1,12 +1,14 @@
 package cliutil
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -159,5 +161,44 @@ func TestDurabilityFlags(t *testing.T) {
 	AddFlagsTo(fs)
 	if err := fs.Parse([]string{"-fsync", "sometimes"}); err == nil {
 		t.Error("bogus -fsync value accepted")
+	}
+}
+
+// The unsupported-lock warning: when the platform cannot enforce -lock,
+// the first LockCheckpoint call warns loudly, exactly once, and only
+// when locking was actually requested.
+func TestLockUnsupportedWarning(t *testing.T) {
+	defer func(sup bool, w io.Writer) { lockSupported, lockWarnWriter = sup, w }(lockSupported, lockWarnWriter)
+	lockSupported = false
+	var buf bytes.Buffer
+	lockWarnWriter = &buf
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := AddFlagsTo(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tel.LockCheckpoint() {
+		t.Fatal("lock default changed")
+	}
+	if !strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("no warning on unsupported lock: %q", buf.String())
+	}
+	n := buf.Len()
+	tel.LockCheckpoint()
+	if buf.Len() != n {
+		t.Fatal("warning repeated on second call")
+	}
+
+	// -lock=false: nothing to warn about.
+	buf.Reset()
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel2 := AddFlagsTo(fs2)
+	if err := fs2.Parse([]string{"-lock=false"}); err != nil {
+		t.Fatal(err)
+	}
+	tel2.LockCheckpoint()
+	if buf.Len() != 0 {
+		t.Fatalf("warned with -lock=false: %q", buf.String())
 	}
 }

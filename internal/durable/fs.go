@@ -44,6 +44,8 @@ type FS interface {
 	Remove(name string) error
 	// Stat returns file metadata.
 	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
 	// SyncDir fsyncs a directory, making renames within it durable.
 	SyncDir(dir string) error
 }
@@ -75,8 +77,9 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return &osFile{f}, nil
 }
 
-func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Stat(name string) (os.FileInfo, error) {
 	return os.Stat(name)
 }

@@ -4,6 +4,10 @@ package durable
 
 import "os"
 
+// LockSupported reports whether this platform backs File.Lock with a
+// real exclusive lock. See lock_unix.go for the contract.
+const LockSupported = false
+
 // Non-unix platforms get no advisory locking; Lock succeeds so the WAL
 // still works, it just cannot exclude a second writer.
 func flockFile(*os.File) error   { return nil }

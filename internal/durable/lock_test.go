@@ -1,0 +1,71 @@
+package durable
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLockSupportedMatchesBuild: on the platforms the tests run on
+// (unix), locking must be real.
+func TestLockSupportedMatchesBuild(t *testing.T) {
+	if !LockSupported {
+		t.Skip("platform without lock support")
+	}
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, err := Create(path, Options{Lock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, _, err := OpenAppend(path, Options{Lock: true}); err == nil {
+		t.Fatal("second locked open succeeded; LockSupported lied")
+	}
+}
+
+// TestUnsupportedLockWarns: when the platform cannot enforce the lock,
+// a locked open must warn loudly on Options.Warn instead of silently
+// dropping the exclusion guarantee.
+func TestUnsupportedLockWarns(t *testing.T) {
+	defer func(v bool) { lockSupported = v }(lockSupported)
+	lockSupported = false
+
+	var warn bytes.Buffer
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, err := Create(path, Options{Lock: true, Warn: &warn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if !strings.Contains(warn.String(), "WARNING") || !strings.Contains(warn.String(), "locking") {
+		t.Fatalf("no loud warning on unsupported lock: %q", warn.String())
+	}
+
+	// Without Lock there is nothing to warn about.
+	warn.Reset()
+	w2, err := Create(path, Options{Warn: &warn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if warn.Len() != 0 {
+		t.Fatalf("unexpected warning without Lock: %q", warn.String())
+	}
+}
+
+// TestMkdirAll: the FS surface must be able to create nested fleet
+// directories.
+func TestMkdirAll(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "c")
+	if err := OS().MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := OS().Stat(dir)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("MkdirAll left no directory: %v", err)
+	}
+	if err := OS().MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("idempotent MkdirAll failed: %v", err)
+	}
+}

@@ -8,6 +8,13 @@ import (
 	"syscall"
 )
 
+// LockSupported reports whether this platform backs File.Lock with a
+// real exclusive lock. Where it is false, Lock silently succeeds
+// without excluding anyone — callers whose correctness depends on
+// exclusion (the fleet lease protocol) must refuse to run, and callers
+// for whom it is defense-in-depth (checkpoint WALs) must warn.
+const LockSupported = true
+
 // flockFile takes a non-blocking exclusive flock(2) on the whole file.
 // flock locks belong to the open file description, so two opens of the
 // same path conflict even within one process — exactly what the

@@ -102,6 +102,9 @@ type Options struct {
 	// Lock takes a non-blocking exclusive lock on the file for the
 	// WAL's lifetime; opening a locked file fails with ErrLocked.
 	Lock bool
+	// Warn receives loud non-fatal warnings (nil = os.Stderr), e.g.
+	// Lock requested on a platform where LockSupported is false.
+	Warn io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -304,6 +307,10 @@ func OpenAppend(path string, opt Options) (*WAL, RepairInfo, error) {
 	return &WAL{f: f, path: path, opt: opt, lastSync: time.Now()}, rep, nil
 }
 
+// lockSupported mirrors LockSupported through a var so tests can
+// exercise the unsupported-platform warning on any platform.
+var lockSupported = LockSupported
+
 // openLocked opens path read-write in append mode and applies the lock
 // policy. O_APPEND means writes always land at the (possibly repaired)
 // end of file without tracking offsets.
@@ -313,6 +320,14 @@ func openLocked(path string, opt Options) (File, error) {
 		return nil, fmt.Errorf("durable: open %s: %w", path, err)
 	}
 	if opt.Lock {
+		if !lockSupported {
+			w := opt.Warn
+			if w == nil {
+				w = os.Stderr
+			}
+			fmt.Fprintf(w, "durable: WARNING: %s: exclusive locking is not supported on this platform; "+
+				"a second writer would NOT be excluded\n", path)
+		}
 		if err := f.Lock(); err != nil {
 			f.Close()
 			if errors.Is(err, ErrLocked) {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -59,10 +60,27 @@ type Plan struct {
 	// only the prefix below the threshold, then every later operation
 	// returns ErrCrashed.
 	CrashAtByte int64
+	// CrashAtWriteOp freezes the image at the Nth counted Write: that
+	// write persists nothing, then every later operation returns
+	// ErrCrashed. Unlike CrashAtByte it places the kill between two
+	// records regardless of their sizes — e.g. "after the lease claim,
+	// before the first WAL append".
+	CrashAtWriteOp int
 	// FailLock makes every Lock fail with durable.ErrLocked.
 	FailLock bool
 	// FailRename makes every Rename fail with EIO.
 	FailRename bool
+	// PathMatch scopes the faults (and the write/sync op counters that
+	// schedule them) to files whose path contains this substring;
+	// operations on other paths pass through unfaulted. Empty matches
+	// everything. Once the crash point is reached the freeze is global —
+	// the process is dead for every path. Rename matches on either path.
+	PathMatch string
+}
+
+// matches reports whether the plan's fault gates apply to path.
+func (p *Plan) matches(path string) bool {
+	return p.PathMatch == "" || strings.Contains(path, p.PathMatch)
 }
 
 // FS implements durable.FS with injected faults. Safe for concurrent
@@ -138,7 +156,7 @@ func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, e
 	if err != nil {
 		return nil, err
 	}
-	return &file{fs: fs, inner: f}, nil
+	return &file{fs: fs, inner: f, name: name}, nil
 }
 
 // Rename delegates, honoring FailRename and the crash point.
@@ -148,7 +166,7 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 		fs.mu.Unlock()
 		return ErrCrashed
 	}
-	if fs.plan.FailRename {
+	if fs.plan.FailRename && (fs.plan.matches(oldpath) || fs.plan.matches(newpath)) {
 		fs.fire(FaultRename)
 		fs.mu.Unlock()
 		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
@@ -159,6 +177,17 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 
 // Remove delegates (even after a crash: the harness may clean up).
 func (fs *FS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// MkdirAll delegates, honoring the crash point.
+func (fs *FS) MkdirAll(path string, perm os.FileMode) error {
+	fs.mu.Lock()
+	crashed := fs.crashed
+	fs.mu.Unlock()
+	if crashed {
+		return &os.PathError{Op: "mkdir", Path: path, Err: ErrCrashed}
+	}
+	return fs.inner.MkdirAll(path, perm)
+}
 
 // Stat delegates, honoring the crash point.
 func (fs *FS) Stat(name string) (os.FileInfo, error) {
@@ -174,18 +203,22 @@ func (fs *FS) Stat(name string) (os.FileInfo, error) {
 // SyncDir counts as a sync op and honors FailSyncAt and the crash
 // point.
 func (fs *FS) SyncDir(dir string) error {
-	if err := fs.syncGate(); err != nil {
+	if err := fs.syncGate(dir); err != nil {
 		return err
 	}
 	return fs.inner.SyncDir(dir)
 }
 
-// syncGate applies the shared sync fault logic.
-func (fs *FS) syncGate() error {
+// syncGate applies the shared sync fault logic. Unmatched paths pass
+// through (uncounted) unless the process has already crashed.
+func (fs *FS) syncGate(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
 		return ErrCrashed
+	}
+	if !fs.plan.matches(path) {
+		return nil
 	}
 	fs.syncOps++
 	if fs.plan.FailSyncAt > 0 && fs.syncOps == fs.plan.FailSyncAt {
@@ -199,6 +232,7 @@ func (fs *FS) syncGate() error {
 type file struct {
 	fs    *FS
 	inner durable.File
+	name  string
 }
 
 func (f *file) Read(p []byte) (int, error) {
@@ -215,7 +249,15 @@ func (f *file) Write(p []byte) (int, error) {
 	if fs.crashed {
 		return 0, ErrCrashed
 	}
+	if !fs.plan.matches(f.name) {
+		return f.inner.Write(p)
+	}
 	fs.writeOps++
+	if fs.plan.CrashAtWriteOp > 0 && fs.writeOps == fs.plan.CrashAtWriteOp {
+		fs.crashed = true
+		fs.fire(FaultCrash)
+		return 0, ErrCrashed
+	}
 	if fs.plan.FailWriteAt > 0 && fs.writeOps == fs.plan.FailWriteAt {
 		fs.fire(FaultWriteEIO)
 		return 0, syscall.EIO
@@ -253,7 +295,7 @@ func (f *file) Write(p []byte) (int, error) {
 }
 
 func (f *file) Sync() error {
-	if err := f.fs.syncGate(); err != nil {
+	if err := f.fs.syncGate(f.name); err != nil {
 		return err
 	}
 	return f.inner.Sync()
@@ -277,7 +319,7 @@ func (f *file) Lock() error {
 		fs.mu.Unlock()
 		return ErrCrashed
 	}
-	if fs.plan.FailLock {
+	if fs.plan.FailLock && fs.plan.matches(f.name) {
 		fs.fire(FaultLock)
 		fs.mu.Unlock()
 		return durable.ErrLocked

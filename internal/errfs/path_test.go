@@ -1,0 +1,106 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs *FS, path, data string) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte(data))
+	return err
+}
+
+// TestPathMatchScopesFaults: with PathMatch set, only matching paths
+// count toward (and suffer) the scheduled faults; other files pass
+// through clean.
+func TestPathMatchScopesFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Plan{FailWriteAt: 1, PathMatch: ".lease"})
+
+	if err := writeAll(t, fs, filepath.Join(dir, "shard.wal"), "untouched"); err != nil {
+		t.Fatalf("unmatched write faulted: %v", err)
+	}
+	if fs.WriteCalls() != 0 {
+		t.Fatalf("unmatched write counted: %d", fs.WriteCalls())
+	}
+	if err := writeAll(t, fs, filepath.Join(dir, "s0001.lease"), "claim"); err == nil {
+		t.Fatal("matched write did not fault")
+	}
+	if fs.Fired(FaultWriteEIO) != 1 {
+		t.Fatalf("write_eio fired %d times", fs.Fired(FaultWriteEIO))
+	}
+
+	// Lock and rename faults scope the same way.
+	fs2 := New(nil, Plan{FailLock: true, FailRename: true, PathMatch: ".lease"})
+	f, err := fs2.OpenFile(filepath.Join(dir, "free.wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Lock(); err != nil {
+		t.Fatalf("unmatched lock faulted: %v", err)
+	}
+	f.Close()
+	g, err := fs2.OpenFile(filepath.Join(dir, "s.lease"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Lock(); err == nil {
+		t.Fatal("matched lock did not fault")
+	}
+	g.Close()
+	if err := fs2.Rename(filepath.Join(dir, "free.wal"), filepath.Join(dir, "free2.wal")); err != nil {
+		t.Fatalf("unmatched rename faulted: %v", err)
+	}
+	if err := fs2.Rename(filepath.Join(dir, "free2.wal"), filepath.Join(dir, "x.lease")); err == nil {
+		t.Fatal("matched rename did not fault")
+	}
+}
+
+// TestCrashAtWriteOp: the Nth counted write persists nothing and
+// freezes the image globally — even paths outside PathMatch are dead
+// afterward, because the simulated process is.
+func TestCrashAtWriteOp(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Plan{CrashAtWriteOp: 2, PathMatch: ".wal"})
+	wal := filepath.Join(dir, "s.wal")
+
+	if err := writeAll(t, fs, wal, "first record\n"); err != nil {
+		t.Fatal(err)
+	}
+	err := writeAll(t, fs, wal, "second record\n")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() || fs.Fired(FaultCrash) != 1 {
+		t.Fatal("crash state not recorded")
+	}
+	// The crossing write persisted nothing.
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first record\n" {
+		t.Fatalf("file image after crash: %q", data)
+	}
+	// Global freeze: unmatched paths fail too.
+	if err := writeAll(t, fs, filepath.Join(dir, "other.txt"), "x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash unmatched op err = %v, want ErrCrashed", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash MkdirAll err = %v, want ErrCrashed", err)
+	}
+
+	// A "new process" over the same directory reads the frozen image.
+	fresh := New(nil, Plan{})
+	if err := fresh.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,32 +42,35 @@ type CampaignOptions struct {
 	ProgressEvery time.Duration
 }
 
-// Fig5Campaign regenerates Figure 5 through the campaign engine: the
-// same experiment list as Fig5, executed as (config x seed) trials with
-// cancellation, per-trial panic isolation, optional checkpoint/resume,
-// and adaptive early stopping. Trial seeds follow the campaign contract
-// campaign.TrialSeed(e.Seed+99, label, trial), so results are
-// reproducible and resumable bit-for-bit (they draw different fault maps
-// than Fig5's legacy sequential seeding, but estimate the same
-// statistics).
-func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions) error {
-	ev, err := e.Measured()
-	if err != nil {
-		return err
-	}
-	if opt.MaxTrials == 0 {
-		opt.MaxTrials = 12
-	}
-
+// Fig5Configs returns the Figure 5 configuration labels in their fold
+// (input) order — the order campaign results aggregate in, and the
+// order a fleet manifest must record so a distributed merge folds
+// identically to a single-process run.
+func Fig5Configs() []string {
 	exps := fig5Experiments()
 	configs := make([]string, len(exps))
-	byLabel := make(map[string]fig5Experiment, len(exps))
 	for i, x := range exps {
 		configs[i] = x.Label
+	}
+	return configs
+}
+
+// Fig5Runner trains the measured model and returns the Figure 5 trial
+// function: a pure function of (config label, trial seed) suitable for
+// the campaign engine or a fleet worker. Two Envs with the same Seed
+// produce bit-identical runners, which is what lets independent worker
+// processes execute disjoint shards of one campaign.
+func (e *Env) Fig5Runner() (campaign.RunFunc, error) {
+	ev, err := e.Measured()
+	if err != nil {
+		return nil, err
+	}
+	exps := fig5Experiments()
+	byLabel := make(map[string]fig5Experiment, len(exps))
+	for _, x := range exps {
 		byLabel[x.Label] = x
 	}
-
-	run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+	return func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
 		x, ok := byLabel[t.Config]
 		if !ok {
 			return campaign.Sample{}, fmt.Errorf("exper: unknown config %q", t.Config)
@@ -83,7 +86,26 @@ func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions
 				"mismatch": st.Mismatch,
 			},
 		}, nil
+	}, nil
+}
+
+// Fig5Campaign regenerates Figure 5 through the campaign engine: the
+// same experiment list as Fig5, executed as (config x seed) trials with
+// cancellation, per-trial panic isolation, optional checkpoint/resume,
+// and adaptive early stopping. Trial seeds follow the campaign contract
+// campaign.TrialSeed(e.Seed+99, label, trial), so results are
+// reproducible and resumable bit-for-bit (they draw different fault maps
+// than Fig5's legacy sequential seeding, but estimate the same
+// statistics).
+func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions) error {
+	run, err := e.Fig5Runner()
+	if err != nil {
+		return err
 	}
+	if opt.MaxTrials == 0 {
+		opt.MaxTrials = 12
+	}
+	configs := Fig5Configs()
 
 	c, err := campaign.New(configs, run, campaign.Options{
 		Seed:           e.Seed + 99,
@@ -107,6 +129,10 @@ func (e *Env) Fig5Campaign(ctx context.Context, w io.Writer, opt CampaignOptions
 		return runErr // hard storage failure (e.g. checkpoint lock held)
 	}
 
+	ev, err := e.Measured() // cached: Fig5Runner already trained it
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Figure 5 (campaign): measured classification error delta per structure (TinyCNN stand-in, baseline err %.3f)\n",
 		ev.BaselineErr)
 	for _, cr := range res.Configs {

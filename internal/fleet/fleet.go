@@ -1,0 +1,131 @@
+// Package fleet runs one fault-injection campaign across many
+// processes with crash recovery and a bit-identical merge.
+//
+// The (config × seed-range) space of a campaign is cut into shards by
+// an atomically-written manifest (manifest.go). Workers claim shards
+// through a lease protocol built on the durable primitives (lease.go):
+// a claim is an O_EXCL-created, flock-held epoch lease file, renewed by
+// heartbeat appends; a worker that stops heartbeating — killed, stalled,
+// partitioned — has its shard stolen by another worker, which claims the
+// next epoch and re-executes the shard into its own epoch WAL. The old
+// holder fences itself the moment it observes the successor epoch and
+// stops contributing (worker.go).
+//
+// Each worker streams completed trials into a per-(shard, epoch) WAL v2
+// checkpoint — the same format single-process campaigns write — and
+// marks completion with an atomically-written done marker. The
+// coordinator merge (merge.go) folds every record of every epoch in
+// deterministic trial order through campaign.Fold.
+//
+// Why the merged result is bit-identical to a single-process run, even
+// under kill -9 and zombie writers: every trial outcome is a pure
+// function of its seed, derived from (campaign seed, config, absolute
+// trial index) — so a re-executed trial, a duplicated trial, or a
+// zombie's trial carries exactly the bits the single-process run would
+// have produced. The merge folds records strictly in (config input
+// order, trial index) order and re-evaluates early stopping on that
+// in-order prefix, which is the same decision procedure the live engine
+// runs. Fencing and lease exclusion are therefore hygiene (they bound
+// wasted work and storage), not correctness dependencies; correctness
+// rests on determinism plus ordered folding. See DESIGN.md §14.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/durable"
+	"repro/internal/telemetry"
+)
+
+// lockSupported mirrors durable.LockSupported through a var so tests
+// can exercise the refusal path on any platform. The lease protocol
+// uses flock as its liveness oracle (a free lock on a claimed lease
+// means the holder died); on a platform where Lock silently succeeds,
+// every probe would report every holder dead and live shards would be
+// stolen wholesale — so Work refuses to start instead.
+var lockSupported = durable.LockSupported
+
+// ErrLockUnsupported is returned by Work on platforms without real
+// exclusive file locking.
+var ErrLockUnsupported = errors.New(
+	"fleet: this platform has no exclusive file locking; the lease protocol cannot tell live workers from dead ones — refusing to run")
+
+// metrics holds the fleet telemetry handles.
+//
+//	fleet.shards.live            shards currently leased by this process
+//	fleet.shards.completed       shards finished (done marker written)
+//	fleet.leases.claimed         lease claims won (any epoch)
+//	fleet.leases.stolen          claims with epoch > 1 (work stealing)
+//	fleet.leases.fenced          times a worker observed a successor epoch
+//	fleet.zombie.writes_fenced   completed trial results suppressed after fencing
+//	fleet.worker.<name>.trials_per_sec   per-worker live throughput
+type metrics struct {
+	live      *telemetry.Gauge
+	completed *telemetry.Counter
+	claimed   *telemetry.Counter
+	stolen    *telemetry.Counter
+	fenced    *telemetry.Counter
+	zombie    *telemetry.Counter
+	rate      *telemetry.Gauge
+}
+
+func newMetrics(r *telemetry.Registry, worker string) *metrics {
+	if r == nil {
+		r = telemetry.Default()
+	}
+	m := &metrics{
+		live:      r.Gauge("fleet.shards.live"),
+		completed: r.Counter("fleet.shards.completed"),
+		claimed:   r.Counter("fleet.leases.claimed"),
+		stolen:    r.Counter("fleet.leases.stolen"),
+		fenced:    r.Counter("fleet.leases.fenced"),
+		zombie:    r.Counter("fleet.zombie.writes_fenced"),
+	}
+	if worker != "" {
+		m.rate = r.Gauge("fleet.worker." + worker + ".trials_per_sec")
+	}
+	return m
+}
+
+// orFS defaults a nil FS to the real filesystem.
+func orFS(fsys durable.FS) durable.FS {
+	if fsys == nil {
+		return durable.OS()
+	}
+	return fsys
+}
+
+// orStderr defaults a nil log writer to stderr.
+func orStderr(w io.Writer) io.Writer {
+	if w == nil {
+		return os.Stderr
+	}
+	return w
+}
+
+// readAll slurps one file through the FS surface.
+func readAll(fsys durable.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// exists reports whether path exists; errors other than non-existence
+// surface so a crashed errfs or a permission problem is not read as
+// "absent".
+func exists(fsys durable.FS, path string) (bool, error) {
+	_, err := fsys.Stat(path)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	return false, fmt.Errorf("fleet: stat %s: %w", path, err)
+}

@@ -1,0 +1,194 @@
+package fleet
+
+// The lease protocol. One lease file per (shard, epoch):
+//
+//	<shard>.e<N>.lease
+//
+// Claiming epoch N is creating that file with O_EXCL — the filesystem
+// picks exactly one winner among racing claimants — and then flocking
+// it for the worker's lifetime. The file's content is a sequence of
+// v2-framed leaseRecord lines (the durable WAL framing): the first is
+// the claim, each later one a heartbeat renewal. Appending through the
+// held handle keeps the flock on the same file description, which is
+// what makes the lock a liveness oracle: when the holder dies, the
+// kernel releases the flock, and a prober that wins a non-blocking lock
+// on a claimed lease knows the holder is gone — no TTL wait needed.
+//
+// A holder that is alive but stalled keeps its flock, so thieves fall
+// back to expiry: a lease whose last heartbeat is older than the TTL
+// the holder itself declared is stealable. Stealing is claiming epoch
+// N+1; the stalled holder fences itself when it next observes that
+// successor lease and stops contributing. Epoch lease files are never
+// deleted or renamed — the dense epoch sequence doubles as the shard's
+// execution history, and the fencing check is a single Stat.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// errClaimLost reports an O_EXCL race lost to another claimant — the
+// normal outcome of contention, not a failure.
+var errClaimLost = errors.New("fleet: lease claimed by another worker")
+
+// leaseRecord is one framed line of a lease file.
+type leaseRecord struct {
+	Shard string `json:"shard"`
+	Epoch int    `json:"epoch"`
+	Owner string `json:"owner"`
+	// HBMillis is the holder's clock at claim/renewal (Unix ms).
+	HBMillis int64 `json:"hb_ms"`
+	// TTLMillis is the staleness bound the holder declares: a lease
+	// whose newest heartbeat is older than this is stealable.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// lease is a held (claimed and flocked) lease.
+type lease struct {
+	fsys  durable.FS
+	path  string
+	f     durable.File
+	rec   leaseRecord
+	clock func() time.Time
+}
+
+// tryClaim attempts to claim (shard, epoch). errClaimLost means another
+// worker won the O_EXCL race.
+func tryClaim(fsys durable.FS, dir string, sh Shard, epoch int, owner string, ttl time.Duration, clock func() time.Time) (*lease, error) {
+	path := leasePath(dir, sh.ID, epoch)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, errClaimLost
+		}
+		return nil, fmt.Errorf("fleet: claim %s: %w", path, err)
+	}
+	if err := f.Lock(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: lock %s: %w", path, err)
+	}
+	l := &lease{
+		fsys: fsys, path: path, f: f, clock: clock,
+		rec: leaseRecord{Shard: sh.ID, Epoch: epoch, Owner: owner, TTLMillis: ttl.Milliseconds()},
+	}
+	if err := l.heartbeat(); err != nil {
+		l.release()
+		return nil, err
+	}
+	return l, nil
+}
+
+// heartbeat appends a renewal record and syncs it to stable storage.
+func (l *lease) heartbeat() error {
+	l.rec.HBMillis = l.clock().UnixMilli()
+	payload, err := json.Marshal(l.rec)
+	if err != nil {
+		return err
+	}
+	line := durable.AppendFrame(nil, payload)
+	if n, err := l.f.Write(line); err != nil || n < len(line) {
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(line))
+		}
+		return fmt.Errorf("fleet: heartbeat %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: heartbeat sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// release drops the flock and closes the handle. The lease file stays:
+// epochs are history, not state to clean up.
+func (l *lease) release() {
+	l.f.Unlock()
+	l.f.Close()
+}
+
+// topEpoch returns the highest epoch with a lease file for the shard
+// (0 = never claimed). Epochs are claimed densely, so probing upward
+// from 1 until the first gap is exact.
+func topEpoch(fsys durable.FS, dir, shard string) (int, error) {
+	for e := 1; ; e++ {
+		ok, err := exists(fsys, leasePath(dir, shard, e))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return e - 1, nil
+		}
+	}
+}
+
+// readLease returns the newest valid record of a lease file. ok is
+// false when no complete record survives (claim torn mid-write); the
+// caller then falls back to the file's mtime for aging.
+func readLease(fsys durable.FS, path string) (leaseRecord, bool) {
+	sr, err := durable.Scan(fsys, path)
+	if err != nil || len(sr.Lines) == 0 {
+		return leaseRecord{}, false
+	}
+	for i := len(sr.Lines) - 1; i >= 0; i-- {
+		var rec leaseRecord
+		if json.Unmarshal(sr.Lines[i].Payload, &rec) == nil && rec.Epoch > 0 {
+			return rec, true
+		}
+	}
+	return leaseRecord{}, false
+}
+
+// probeDead reports whether the holder of the lease at path has died:
+// a non-blocking flock that succeeds on a claimed lease means the
+// kernel already released the holder's lock with its process. Errors
+// (including a still-held lock) report "not provably dead".
+func probeDead(fsys durable.FS, path string) bool {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if err := f.Lock(); err != nil {
+		return false
+	}
+	f.Unlock()
+	return true
+}
+
+// stealable decides whether the top-epoch lease of a shard may be
+// stolen, and why. Two independent paths:
+//
+//   - dead holder: the flock probe wins AND the lease is older than
+//     grace (the grace window closes the claimant's create-to-flock
+//     race, where a probe could win the lock on a file whose creator
+//     simply hasn't locked it yet);
+//   - stalled holder: the newest heartbeat is older than the TTL the
+//     holder itself declared (fallback TTL when the claim was torn).
+func stealable(fsys durable.FS, path string, fallbackTTL, grace time.Duration, now time.Time) (bool, string) {
+	rec, ok := readLease(fsys, path)
+	var age time.Duration
+	ttl := fallbackTTL
+	if ok {
+		age = now.Sub(time.UnixMilli(rec.HBMillis))
+		if rec.TTLMillis > 0 {
+			ttl = time.Duration(rec.TTLMillis) * time.Millisecond
+		}
+	} else {
+		fi, err := fsys.Stat(path)
+		if err != nil {
+			return false, ""
+		}
+		age = now.Sub(fi.ModTime())
+	}
+	if age > grace && probeDead(fsys, path) {
+		return true, "holder dead (flock released)"
+	}
+	if age > ttl {
+		return true, fmt.Sprintf("lease expired (%v since last heartbeat, ttl %v)", age.Round(time.Millisecond), ttl)
+	}
+	return false, ""
+}

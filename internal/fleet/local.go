@@ -1,0 +1,49 @@
+package fleet
+
+// RunLocal: the whole fleet protocol inside one process — n workers
+// against a planned fleet directory, then the merge. This is what the
+// CLIs' -fleet N mode runs, and it exercises the identical claim /
+// heartbeat / steal / merge paths the multi-process deployment uses
+// (flock conflicts apply between opens within one process too).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// RunLocal starts n workers (goroutines) with WaitForAll set against an
+// already-planned fleet directory, waits for all shards to complete,
+// and merges. Worker i is named "<base.Name>-w<i>" (base.Name empty:
+// "w<i>"). The merged result is bit-identical to a single-process run
+// of the same campaign.
+func RunLocal(ctx context.Context, n int, base WorkerOptions) (*MergeReport, []*WorkReport, error) {
+	if n <= 0 {
+		n = 1
+	}
+	reports := make([]*WorkReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		opt := base
+		if base.Name == "" {
+			opt.Name = fmt.Sprintf("w%d", i)
+		} else {
+			opt.Name = fmt.Sprintf("%s-w%d", base.Name, i)
+		}
+		opt.WaitForAll = true
+		wg.Add(1)
+		go func(i int, opt WorkerOptions) {
+			defer wg.Done()
+			reports[i], errs[i] = Work(ctx, opt)
+		}(i, opt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, reports, err
+		}
+	}
+	rep, err := Merge(MergeOptions{Dir: base.Dir, FS: base.FS, Log: base.Log, Metrics: base.Metrics})
+	return rep, reports, err
+}

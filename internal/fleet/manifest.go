@@ -1,0 +1,181 @@
+package fleet
+
+// The shard manifest: the immutable description of one distributed
+// campaign. Plan writes it exactly once (atomically, refusing to
+// clobber an existing fleet directory); workers and the merge treat it
+// as read-only truth. Everything execution-dependent — who ran what,
+// how many times, in which epoch — lives in lease files and WALs, never
+// in the manifest, so the manifest bytes are a pure function of the
+// plan inputs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/durable"
+)
+
+// manifestVersion is the on-disk format version.
+const manifestVersion = 1
+
+// ManifestName is the manifest's filename inside a fleet directory.
+const ManifestName = "manifest.json"
+
+// Shard is one unit of claimable work: a contiguous trial sub-range of
+// one config. Trial seeds derive from the absolute trial index, so a
+// shard's records are identical to the same trials of a full run.
+type Shard struct {
+	ID     string `json:"id"`
+	Config string `json:"config"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+}
+
+// Manifest describes one distributed campaign. The statistical contract
+// (Seed … Confidence) is recorded here so every worker and the merge
+// agree on it without out-of-band coordination; SpecKind/Spec let a CLI
+// record how to reconstruct the trial RunFunc.
+type Manifest struct {
+	Version    int             `json:"version"`
+	Name       string          `json:"name,omitempty"`
+	Seed       uint64          `json:"seed"`
+	MaxTrials  int             `json:"max_trials"`
+	MinTrials  int             `json:"min_trials,omitempty"`
+	CITarget   float64         `json:"ci_target,omitempty"`
+	Confidence float64         `json:"confidence,omitempty"`
+	Configs    []string        `json:"configs"`
+	SpecKind   string          `json:"spec_kind,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	Shards     []Shard         `json:"shards"`
+}
+
+// PlanSpec are the inputs to Plan.
+type PlanSpec struct {
+	// Dir is the fleet directory (created if missing).
+	Dir string
+	// Name labels the campaign in status output.
+	Name string
+	// Seed, Configs, MaxTrials, MinTrials, CITarget, Confidence are the
+	// campaign's statistical contract (campaign.Options semantics).
+	Seed       uint64
+	Configs    []string
+	MaxTrials  int
+	MinTrials  int
+	CITarget   float64
+	Confidence float64
+	// ShardSize is the maximum trials per shard (default MaxTrials: one
+	// shard per config).
+	ShardSize int
+	// SpecKind and Spec record how a CLI rebuilds the RunFunc.
+	SpecKind string
+	Spec     json.RawMessage
+	// FS overrides the filesystem (nil = real).
+	FS durable.FS
+}
+
+// Plan cuts the (config × trial) space into shards and atomically
+// writes the manifest. It refuses to overwrite an existing manifest: a
+// fleet directory describes exactly one campaign, and re-planning under
+// live workers would silently change what their shard IDs mean.
+func Plan(spec PlanSpec) (*Manifest, error) {
+	if spec.Dir == "" {
+		return nil, fmt.Errorf("fleet: plan: empty directory")
+	}
+	if len(spec.Configs) == 0 {
+		return nil, fmt.Errorf("fleet: plan: no configs")
+	}
+	if spec.MaxTrials <= 0 {
+		return nil, fmt.Errorf("fleet: plan: MaxTrials must be > 0")
+	}
+	if spec.ShardSize <= 0 {
+		spec.ShardSize = spec.MaxTrials
+	}
+	fsys := orFS(spec.FS)
+	if err := fsys.MkdirAll(spec.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: plan: %w", err)
+	}
+	mpath := filepath.Join(spec.Dir, ManifestName)
+	if ok, err := exists(fsys, mpath); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("fleet: %s already holds a manifest; plan into a fresh directory", spec.Dir)
+	}
+	m := &Manifest{
+		Version:    manifestVersion,
+		Name:       spec.Name,
+		Seed:       spec.Seed,
+		MaxTrials:  spec.MaxTrials,
+		MinTrials:  spec.MinTrials,
+		CITarget:   spec.CITarget,
+		Confidence: spec.Confidence,
+		Configs:    append([]string(nil), spec.Configs...),
+		SpecKind:   spec.SpecKind,
+		Spec:       spec.Spec,
+	}
+	n := 0
+	for _, cfg := range spec.Configs {
+		if cfg == "" {
+			return nil, fmt.Errorf("fleet: plan: empty config ID")
+		}
+		for lo := 0; lo < spec.MaxTrials; lo += spec.ShardSize {
+			hi := lo + spec.ShardSize
+			if hi > spec.MaxTrials {
+				hi = spec.MaxTrials
+			}
+			m.Shards = append(m.Shards, Shard{ID: fmt.Sprintf("s%04d", n), Config: cfg, Lo: lo, Hi: hi})
+			n++
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := durable.WriteFileAtomic(fsys, mpath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadManifest reads and validates the manifest of a fleet directory.
+func LoadManifest(fsys durable.FS, dir string) (*Manifest, error) {
+	fsys = orFS(fsys)
+	data, err := readAll(fsys, filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("fleet: %s has no manifest (run plan first): %w", dir, err)
+		}
+		return nil, fmt.Errorf("fleet: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fleet: %s/%s: %w", dir, ManifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("fleet: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.MaxTrials <= 0 || len(m.Configs) == 0 || len(m.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: manifest in %s is malformed", dir)
+	}
+	for _, sh := range m.Shards {
+		if sh.ID == "" || sh.Config == "" || sh.Lo < 0 || sh.Lo >= sh.Hi || sh.Hi > m.MaxTrials {
+			return nil, fmt.Errorf("fleet: manifest shard %+v is malformed", sh)
+		}
+	}
+	return &m, nil
+}
+
+// Path helpers. All fleet state lives flat in the fleet directory.
+
+func leasePath(dir, shard string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.e%d.lease", shard, epoch))
+}
+
+func walPath(dir, shard string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.e%d.wal", shard, epoch))
+}
+
+func donePath(dir, shard string) string {
+	return filepath.Join(dir, shard+".done")
+}
