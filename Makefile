@@ -2,6 +2,7 @@
 #
 #   make check   - tier 1: build + full test suite + vet + race pass on
 #                  the concurrency-heavy packages (the seed contract)
+#                  + the servesim end-to-end smoke
 #   make race    - tier 2: go vet + race detector on a fast test pass
 #   make cover   - per-package coverage floors on the core packages
 #   make fleet-crash - the fleet fault matrix: lease races, zombie
@@ -25,13 +26,13 @@ FUZZTIME ?= 10s
 # package rather than aggregate so an untested package cannot hide
 # behind a well-tested one.
 COVER_FLOOR ?= 70
-COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet internal/serve
 
-.PHONY: all check build test race race-fast vet cover fuzz fleet-crash bench bench-inference bench-fleet clean
+.PHONY: all check build test race race-fast vet cover fuzz fleet-crash bench bench-inference bench-fleet bench-serve serve-smoke clean
 
 all: check race
 
-check: build test vet race-fast
+check: build test vet race-fast serve-smoke
 
 build:
 	$(GO) build ./...
@@ -55,7 +56,12 @@ race: vet
 # in tier 1 so a data race cannot land even when the full race tier is
 # skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/...
+
+# The server's own end-to-end smoke: train, serve every endpoint on an
+# ephemeral port, scrape /metrics, drain.
+serve-smoke:
+	$(GO) run ./cmd/servesim -smoke
 
 # The fleet fault matrix, repeated to shake out schedule-dependent
 # flakes: claim races, expiry steals with zombie fencing, simulated
@@ -84,6 +90,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBitMaskDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -fuzz=FuzzECCCorrect -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/campaign/
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -104,6 +111,14 @@ bench-inference:
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'Fleet' -benchmem -benchtime=2s ./internal/fleet/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_fleet.json
+
+# The tracked server baseline: a closed-loop client fleet against the
+# batched evaluation server (real replica pool behind it), written to
+# BENCH_serve.json. Tracked signals: req/s (throughput) and p99-ms
+# (tail latency under the coalescing + admission path).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'ServeLoad' -benchmem -benchtime=2s ./internal/serve/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json
 
 clean:
 	$(GO) clean -testcache

@@ -206,6 +206,19 @@ func (ev *MeasuredEvaluator) corruptTrial(ctx context.Context, cfg Config, seed 
 	return decodedLayers, agg, nil
 }
 
+// CorruptTrial runs only the encode -> inject -> decode stages of one
+// trial — no inference — and returns the aggregated corruption
+// statistics. It serves callers that want the storage-level damage
+// picture (fault counts, mismatch, value NSR) without paying for a
+// measurement: the inject endpoint of the evaluation server, and any
+// probe that triages configurations before spending inference on them.
+// Same purity contract as EvalTrial: the outcome is a pure function of
+// (cfg, seed).
+func (ev *MeasuredEvaluator) CorruptTrial(ctx context.Context, cfg Config, seed uint64) (TrialStats, error) {
+	_, agg, err := ev.corruptTrial(ctx, cfg, seed)
+	return agg, err
+}
+
 // EvalTrial runs ONE fault-injection trial under cfg with the given
 // trial seed and returns the measured classification-error delta
 // (clamped at 0) plus the aggregated corruption statistics.

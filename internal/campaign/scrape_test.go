@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// TestScrapeMidCampaign proves the continuous Prometheus scrape path is
+// a pure read against a live campaign: scrapers hammer the default
+// registry while the engine runs, and the engine's counters end at
+// exactly the same values a scrape-free run produces — no
+// reset-on-read, no perturbation of in-flight recording.
+func TestScrapeMidCampaign(t *testing.T) {
+	reg := telemetry.Default()
+	completed := reg.Counter("campaign.trials.completed")
+	latency := reg.Timer("campaign.trial.latency").Hist()
+	startCompleted := completed.Value()
+	startLatencyN := latency.Count()
+
+	run := func(ctx context.Context, tr Trial) (Sample, error) {
+		src := stats.NewSource(tr.Seed)
+		return Sample{Value: src.Gaussian(0, 1)}, nil
+	}
+	c, err := New([]string{"a", "b", "c"}, run, Options{Seed: 7, MaxTrials: 40, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	res, err := c.Run(context.Background())
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 configs x 40 trials, no early stop configured: the counter moved
+	// by exactly the executed trial count despite the scrape storm.
+	if res.Executed != 120 {
+		t.Fatalf("expected 120 executed trials, got %d", res.Executed)
+	}
+	if got := completed.Value() - startCompleted; got != 120 {
+		t.Errorf("campaign.trials.completed moved by %d under scraping, want 120", got)
+	}
+	if got := latency.Count() - startLatencyN; got != 120 {
+		t.Errorf("campaign.trial.latency count moved by %d under scraping, want 120", got)
+	}
+	// And the final scrape reports the counter's true value.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("campaign_trials_completed %d", completed.Value())
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("final scrape missing %q", want)
+	}
+}

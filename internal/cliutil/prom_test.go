@@ -1,0 +1,61 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The -prom flag must bind synchronously in Start (so PromURL is valid
+// immediately) and serve a live Prometheus scrape of the default
+// registry that reflects writes made after the server came up.
+func TestPromEndpointServesLiveScrape(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := AddFlagsTo(fs)
+	if err := fs.Parse([]string{"-prom", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if tel.PromURL() != "" {
+		t.Fatalf("PromURL before Start = %q, want empty", tel.PromURL())
+	}
+	tel.Start()
+	url := tel.PromURL()
+	if url == "" {
+		t.Fatal("PromURL empty after Start with -prom")
+	}
+	defer tel.promLn.Close()
+
+	telemetry.Default().Counter("cliutil.test.prom").Add(3)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q missing exposition version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "cliutil_test_prom 3") {
+		t.Errorf("scrape missing live counter:\n%s", body)
+	}
+}
+
+// Without -prom, Start must not bind anything and PromURL stays empty.
+func TestPromFlagOffByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := AddFlagsTo(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	tel.Start()
+	if tel.PromURL() != "" {
+		t.Fatalf("PromURL = %q without -prom, want empty", tel.PromURL())
+	}
+}

@@ -1,15 +1,18 @@
 // Package cliutil holds the flag plumbing shared by the repro CLIs:
-// the -metrics JSON telemetry dump, the -pprof profiling endpoint, and
-// the -fsync/-lock checkpoint durability knobs. It exists so the
-// commands (faultsim, maxnvm, nvsweep) expose identical observability
+// the -metrics JSON telemetry dump, the -prom live Prometheus /metrics
+// endpoint, the -pprof profiling endpoint, and the -fsync/-lock
+// checkpoint durability knobs. It exists so the commands (faultsim,
+// maxnvm, nvsweep, campaignd, servesim) expose identical observability
 // and durability surfaces without triplicating the wiring.
 package cliutil
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
@@ -25,6 +28,8 @@ import (
 type Telemetry struct {
 	metricsPath string
 	pprofAddr   string
+	promAddr    string
+	promLn      net.Listener
 	fsync       durable.SyncPolicy
 	lock        bool
 	lockWarned  bool
@@ -48,6 +53,8 @@ func AddFlagsTo(fs *flag.FlagSet) *Telemetry {
 		"write a JSON telemetry snapshot (counters, gauges, latency percentiles) to this path on exit")
 	fs.StringVar(&t.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address, e.g. localhost:6060")
+	fs.StringVar(&t.promAddr, "prom", "",
+		"serve a continuous Prometheus text-format /metrics endpoint on this address, e.g. localhost:9100 (scrape a long campaign live instead of waiting for the -metrics exit snapshot)")
 	fs.Func("fsync", "checkpoint durability policy: never|interval|always (default interval)",
 		func(s string) error {
 			p, err := durable.ParseSyncPolicy(s)
@@ -95,19 +102,51 @@ func NotifyContext(parent context.Context) (context.Context, context.CancelFunc)
 	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }
 
-// Start launches the pprof server when -pprof was given. Call once,
-// after flag.Parse. Startup failures are reported to stderr but do not
-// abort the run: profiling is auxiliary.
+// Start launches the pprof server and the Prometheus exporter when
+// their flags were given. Call once, after flag.Parse. The -prom
+// listener is bound synchronously so a bad address fails loudly up
+// front and PromURL is valid as soon as Start returns; pprof startup
+// failures are reported to stderr but do not abort the run: both
+// surfaces are auxiliary.
 func (t *Telemetry) Start() {
-	if t.pprofAddr == "" {
-		return
+	if t.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(t.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", t.pprofAddr)
 	}
-	go func() {
-		if err := http.ListenAndServe(t.pprofAddr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+	if t.promAddr != "" {
+		ln, err := net.Listen("tcp", t.promAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prom: %v\n", err)
+			return
 		}
-	}()
-	fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", t.pprofAddr)
+		t.promLn = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = t.reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "prom: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "prom: serving on %s\n", t.PromURL())
+	}
+}
+
+// PromURL returns the live /metrics endpoint URL once Start has bound
+// the -prom listener, or "" when the flag was not given (or binding
+// failed). The bound address is reported rather than the flag value so
+// port-0 requests ("localhost:0") resolve to the real port.
+func (t *Telemetry) PromURL() string {
+	if t.promLn == nil {
+		return ""
+	}
+	return fmt.Sprintf("http://%s/metrics", t.promLn.Addr())
 }
 
 // Dump writes the JSON snapshot when -metrics was given (no-op

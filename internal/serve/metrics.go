@@ -1,0 +1,114 @@
+package serve
+
+// Server telemetry, recorded into the server's registry (the process
+// default in production, a private registry in tests). Per-endpoint and
+// per-tenant series use the registry's ';'-label convention so the
+// Prometheus exporter renders them as real labels:
+//
+//	serve.queue.depth              admission-queue occupancy (gauge)
+//	serve.inflight                 flights executing in the backend (gauge)
+//	serve.shed                     requests rejected 429 by the full queue
+//	serve.rejected.draining        requests rejected 503 during drain
+//	serve.deadline.expired         queued flights whose deadline passed
+//	                               before a worker picked them up (they
+//	                               never reach the pool)
+//	serve.coalesced                requests that joined an identical
+//	                               in-flight computation
+//	serve.tenants.overflow         requests attributed to tenant="other"
+//	                               after the label-cardinality cap
+//	serve.requests;endpoint=E      requests admitted per endpoint
+//	serve.requests.tenant;tenant=T requests per tenant (capped at
+//	                               maxTenantSeries distinct tenants)
+//	serve.latency;endpoint=E       full handler latency per endpoint (ns)
+//	serve.responses;code=NNN       responses by HTTP status
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// maxTenantSeries caps per-tenant label cardinality: a scrape target
+// must stay bounded no matter how many tenant names callers invent.
+// Beyond the cap, requests are attributed to tenant="other".
+const maxTenantSeries = 64
+
+type metrics struct {
+	reg        *telemetry.Registry
+	queueDepth *telemetry.Gauge
+	inflight   *telemetry.Gauge
+	shed       *telemetry.Counter
+	draining   *telemetry.Counter
+	expired    *telemetry.Counter
+	coalesced  *telemetry.Counter
+	tenantOver *telemetry.Counter
+
+	mu        sync.Mutex
+	requests  map[string]*telemetry.Counter // by endpoint
+	latency   map[string]*telemetry.Timer   // by endpoint
+	tenants   map[string]*telemetry.Counter // by tenant, capped
+	responses map[int]*telemetry.Counter    // by status code
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		reg:        reg,
+		queueDepth: reg.Gauge("serve.queue.depth"),
+		inflight:   reg.Gauge("serve.inflight"),
+		shed:       reg.Counter("serve.shed"),
+		draining:   reg.Counter("serve.rejected.draining"),
+		expired:    reg.Counter("serve.deadline.expired"),
+		coalesced:  reg.Counter("serve.coalesced"),
+		tenantOver: reg.Counter("serve.tenants.overflow"),
+		requests:   map[string]*telemetry.Counter{},
+		latency:    map[string]*telemetry.Timer{},
+		tenants:    map[string]*telemetry.Counter{},
+		responses:  map[int]*telemetry.Counter{},
+	}
+}
+
+func (m *metrics) endpoint(ep string) (*telemetry.Counter, *telemetry.Timer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[ep]
+	if !ok {
+		c = m.reg.Counter("serve.requests;endpoint=" + ep)
+		m.requests[ep] = c
+	}
+	t, ok := m.latency[ep]
+	if !ok {
+		t = m.reg.Timer("serve.latency;endpoint=" + ep)
+		m.latency[ep] = t
+	}
+	return c, t
+}
+
+func (m *metrics) tenant(name string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.tenants[name]
+	if !ok {
+		if len(m.tenants) >= maxTenantSeries {
+			m.tenantOver.Inc()
+			name = "other"
+			if c, ok = m.tenants[name]; ok {
+				return c
+			}
+		}
+		c = m.reg.Counter("serve.requests.tenant;tenant=" + name)
+		m.tenants[name] = c
+	}
+	return c
+}
+
+func (m *metrics) response(code int) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.responses[code]
+	if !ok {
+		c = m.reg.Counter("serve.responses;code=" + strconv.Itoa(code))
+		m.responses[code] = c
+	}
+	return c
+}

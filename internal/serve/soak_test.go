@@ -1,0 +1,217 @@
+package serve
+
+// The soak battery: N goroutines fire a mixed-tenant request stream —
+// random endpoints, configs, seeds, and client-side cancellations —
+// at a server backed by the real replica pool, under -race via the
+// race-fast tier. Afterwards nothing may be leaked (no checked-out
+// replicas, no stuck gauges) and a seed-pinned subset of the evaluate
+// responses must be bit-identical to the serial evaluator.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ares"
+	"repro/internal/dnn"
+	"repro/internal/telemetry"
+	"repro/internal/train"
+)
+
+// Shared trained evaluator for the soak and bench suites (training once
+// keeps the battery fast); mirrors the ares measured-test fixture.
+var (
+	soakOnce sync.Once
+	soakEv   *ares.MeasuredEvaluator
+	soakErr  error
+)
+
+func getSoakEvaluator(t testing.TB) *ares.MeasuredEvaluator {
+	t.Helper()
+	soakOnce.Do(func() {
+		trainDS := train.Synthesize(train.SynthConfig{N: 600, Seed: 10, ProtoSeed: 77})
+		testDS := train.Synthesize(train.SynthConfig{N: 200, Seed: 11, ProtoSeed: 77})
+		m := dnn.TinyCNN()
+		m.InitWeights(42)
+		if _, err := train.Train(m, trainDS, train.Config{Epochs: 6, Seed: 1}); err != nil {
+			soakErr = err
+			return
+		}
+		soakEv, soakErr = ares.NewMeasuredEvaluator(m, testDS, 5)
+	})
+	if soakErr != nil {
+		t.Fatal(soakErr)
+	}
+	return soakEv
+}
+
+// soakConfigs is the tenant config mix: distinct technologies,
+// encodings, and protection plans, all of which actually corrupt cells
+// (no perfect-storage sentinel), so trials exercise the full
+// encode/inject/decode/measure path.
+var soakConfigs = []string{
+	`{"tech":"MLC-CTT","encoding":"csr","default":{"bpc":3}}`,
+	`{"tech":"MLC-CTT","encoding":"csr","default":{"bpc":3},"overrides":{"rowcount":{"bpc":3,"ecc":true},"colidx":{"bpc":3,"ecc":true}}}`,
+	`{"tech":"MLC-RRAM","encoding":"bitmask","default":{"bpc":2,"ecc":true}}`,
+	`{"tech":"MLC-CTT","encoding":"idxsync","default":{"bpc":2},"retention_years":3}`,
+}
+
+func soakBody(tenant string, cfgIdx int, seed uint64) string {
+	return fmt.Sprintf(`{"tenant":%q,"seed":%d,"timeout_ms":30000,"config":%s}`,
+		tenant, seed, soakConfigs[cfgIdx])
+}
+
+func TestSoakMixedTenants(t *testing.T) {
+	ev := getSoakEvaluator(t)
+	reg := telemetry.NewRegistry()
+	s := New(Options{
+		Backend:  NewAresBackend(ev),
+		Registry: reg,
+		Workers:  4, QueueDepth: 64,
+		DefaultTimeout: 30 * time.Second,
+	})
+	hs := newSoakHTTP(t, s)
+
+	const (
+		goroutines = 8
+		iters      = 16
+		seedRange  = 6 // small on purpose: collisions exercise coalescing
+	)
+	// deltas collects every successful evaluate response keyed by
+	// (config, seed); the map doubles as a consistency check (two
+	// responses for one key must agree exactly) and as the seed-pinned
+	// subset replayed serially below.
+	var (
+		dmu    sync.Mutex
+		deltas = map[[2]int]float64{}
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			client := &http.Client{}
+			for i := 0; i < iters; i++ {
+				tenant := fmt.Sprintf("tenant-%d", rng.Intn(5))
+				cfgIdx := rng.Intn(len(soakConfigs))
+				seed := uint64(rng.Intn(seedRange))
+				path, bodyStr := "/v1/evaluate", soakBody(tenant, cfgIdx, seed)
+				switch r := rng.Float64(); {
+				case r < 0.15:
+					path = "/v1/inject"
+				case r < 0.25:
+					path = "/v1/encode"
+				case r < 0.35:
+					path = "/v1/lifetime"
+					bodyStr = fmt.Sprintf(`{"tenant":%q,"seed":%d,"timeout_ms":30000,"config":%s,"lifetime":{"years":8,"scrub_interval_years":4}}`,
+						tenant, seed, soakConfigs[cfgIdx])
+				}
+
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Float64() < 0.15 {
+					// Randomized client abandonment: a deadline short
+					// enough to usually fire mid-flight.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3000))*time.Microsecond)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs+path, strings.NewReader(bodyStr))
+				if err != nil {
+					t.Error(err)
+					cancel()
+					continue
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					cancel() // client-side cancellation; the server must simply survive it
+					continue
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				cancel()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if path == "/v1/evaluate" {
+						var evr EvaluateResponse
+						if err := json.Unmarshal(data, &evr); err != nil {
+							t.Errorf("evaluate body: %v", err)
+							continue
+						}
+						key := [2]int{cfgIdx, int(seed)}
+						dmu.Lock()
+						if prev, ok := deltas[key]; ok && prev != evr.DeltaErr {
+							t.Errorf("config %d seed %d: deltas %v and %v disagree", cfgIdx, seed, prev, evr.DeltaErr)
+						}
+						deltas[key] = evr.DeltaErr
+						dmu.Unlock()
+					}
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					// Load shed or deadline: legitimate under soak pressure.
+				default:
+					t.Errorf("%s: unexpected status %d: %s", path, resp.StatusCode, data)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Nothing leaked: no replica still checked out of the pool, no stuck
+	// admission gauges.
+	if busy := telemetry.Default().Gauge("ares.replicas.busy").Value(); busy != 0 {
+		t.Errorf("ares.replicas.busy = %v after drain, want 0 (leaked replica)", busy)
+	}
+	for _, g := range []string{"serve.queue.depth", "serve.inflight"} {
+		if v := reg.Gauge(g).Value(); v != 0 {
+			t.Errorf("%s = %v after drain, want 0", g, v)
+		}
+	}
+
+	// Bit-identical replay: every delta the server returned must equal
+	// the serial evaluator's answer for the same (config, seed) exactly.
+	if len(deltas) == 0 {
+		t.Fatal("soak produced no successful evaluate responses")
+	}
+	checked := 0
+	for key, got := range deltas {
+		if checked >= 8 {
+			break
+		}
+		checked++
+		_, cfg, _, err := DecodeRequest(strings.NewReader(soakBody("t", key[0], uint64(key[1]))), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ev.EvalTrialSerial(context.Background(), cfg, uint64(key[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("config %d seed %d: server delta %v != serial delta %v", key[0], key[1], got, want)
+		}
+	}
+	t.Logf("soak: %d distinct (config,seed) evaluate results, %d replayed serially", len(deltas), checked)
+}
+
+// newSoakHTTP serves s.Handler() on a loopback listener and returns the
+// base URL. Unlike newTestServer it does not own s's shutdown — the
+// soak test drains explicitly.
+func newSoakHTTP(t *testing.T, s *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+// Prometheus text-format export (the continuous counterpart of the
+// exit-time JSON snapshot).
+//
+// Metric names in this repository are dot-separated paths; Prometheus
+// names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so dots (and any other
+// illegal byte) become underscores: "campaign.trials.completed" is
+// exported as campaign_trials_completed.
+//
+// Labels ride inside the registered name after a ';', as comma-separated
+// key=value pairs:
+//
+//	serve.requests;endpoint=evaluate,tenant=acme
+//
+// exports as
+//
+//	serve_requests{endpoint="evaluate",tenant="acme"} 7
+//
+// Series that share a base name form one metric family under a single
+// # TYPE line. Counters export as counter, gauges as gauge, histograms
+// as summary (quantile series for p50/p95/p99 plus _sum and _count):
+// the registry's fixed log-spaced buckets give upper-bound quantile
+// estimates at ~9% resolution, which is what the JSON snapshot reports
+// too, so both export paths tell the same story. Timers (unit "ns")
+// gain a _ns name suffix per the Prometheus unit-suffix convention.
+//
+// Output ordering is deterministic — counters, then gauges, then
+// summaries, families and series each in sorted order — so the format
+// is pinned by a golden-file test. A scrape walks the live atomic
+// metrics (Registry.Read) and never resets or perturbs them.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promQuantiles are the summary quantiles exported per histogram,
+// matching the JSON snapshot's p50/p95/p99.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// sanitizeName maps a dotted metric path onto the Prometheus name
+// charset.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text-format rules.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// splitSeries splits a registered name into its sanitized base name and
+// sorted label pairs (nil when the name carries no ';' section).
+func splitSeries(name string) (base string, labels [][2]string) {
+	base, rest, found := strings.Cut(name, ";")
+	base = sanitizeName(base)
+	if !found {
+		return base, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			continue // malformed pair: skip rather than emit broken syntax
+		}
+		labels = append(labels, [2]string{sanitizeName(k), v})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i][0] < labels[j][0] })
+	return base, labels
+}
+
+// renderLabels renders {k="v",...} with extra appended last ("" = none).
+func renderLabels(labels [][2]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, kv[0], escapeLabelValue(kv[1]))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabelValue(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// series is one rendered-name series within a family.
+type series struct {
+	labels [][2]string
+	key    string // rendered label string, the within-family sort key
+	idx    int    // index into the source View slice
+}
+
+// familiesOf groups registered names into sorted families of sorted
+// series. nameAt returns the registered name of element i.
+func familiesOf(n int, nameAt func(int) string) (families []string, byFamily map[string][]series) {
+	byFamily = map[string][]series{}
+	for i := 0; i < n; i++ {
+		base, labels := splitSeries(nameAt(i))
+		byFamily[base] = append(byFamily[base], series{labels: labels, key: renderLabels(labels, "", ""), idx: i})
+	}
+	families = make([]string, 0, len(byFamily))
+	for f, ss := range byFamily {
+		families = append(families, f)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+	}
+	sort.Strings(families)
+	return families, byFamily
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format. It is safe to call concurrently with metric
+// recording (and with itself); it reads the live metrics and never
+// resets them.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	v := r.Read()
+
+	families, byFamily := familiesOf(len(v.Counters), func(i int) string { return v.Counters[i].Name })
+	for _, f := range families {
+		fmt.Fprintf(bw, "# TYPE %s counter\n", f)
+		for _, s := range byFamily[f] {
+			fmt.Fprintf(bw, "%s%s %d\n", f, s.key, v.Counters[s.idx].Counter.Value())
+		}
+	}
+
+	families, byFamily = familiesOf(len(v.Gauges), func(i int) string { return v.Gauges[i].Name })
+	for _, f := range families {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", f)
+		for _, s := range byFamily[f] {
+			fmt.Fprintf(bw, "%s%s %s\n", f, s.key,
+				strconv.FormatFloat(v.Gauges[s.idx].Gauge.Value(), 'g', -1, 64))
+		}
+	}
+
+	// Histograms: every series in a family shares the unit (they come
+	// from the same instrumentation site), so the unit suffix is decided
+	// per family from its first series.
+	families, byFamily = familiesOf(len(v.Histograms), func(i int) string { return v.Histograms[i].Name })
+	for _, f := range families {
+		ss := byFamily[f]
+		name := f
+		if v.Histograms[ss[0].idx].Histogram.Unit() != "" {
+			name = f + "_" + sanitizeName(v.Histograms[ss[0].idx].Histogram.Unit())
+		}
+		fmt.Fprintf(bw, "# TYPE %s summary\n", name)
+		for _, s := range ss {
+			h := v.Histograms[s.idx].Histogram
+			for _, pq := range promQuantiles {
+				fmt.Fprintf(bw, "%s%s %d\n", name, renderLabels(s.labels, "quantile", pq.label), h.Quantile(pq.q))
+			}
+			fmt.Fprintf(bw, "%s_sum%s %d\n", name, s.key, h.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, s.key, h.Count())
+		}
+	}
+	return bw.Flush()
+}

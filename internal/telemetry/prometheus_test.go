@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestPrometheusGolden pins the exporter's wire format — metric names,
+// label rendering, type lines, series ordering — against a checked-in
+// golden file. A diff here is a breaking change for every scraper.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.trials.completed").Add(120)
+	r.Counter("serve.requests;endpoint=evaluate,tenant=acme").Add(7)
+	r.Counter("serve.requests;endpoint=inject,tenant=acme").Add(3)
+	r.Counter("serve.requests;tenant=b.corp,endpoint=evaluate").Inc() // unsorted labels, dotted value
+	r.Counter("serve.shed").Add(2)
+	r.Gauge("serve.queue.depth").Set(4)
+	r.Gauge("campaign.workers.busy").Set(1.5)
+	tm := r.Timer("serve.latency;endpoint=evaluate")
+	for _, ns := range []int64{1000, 2000, 4000, 8000, 16000} {
+		tm.Hist().Observe(ns)
+	}
+	r.Histogram("envm.faults.per_trial").Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus output drifted from golden file (run with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusEscaping covers the label-value escape rules and name
+// sanitization edges that the golden file doesn't exercise.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`serve.requests;tenant=a"b\c` + "\n" + `d`).Inc()
+	r.Counter("0weird-name;=,x=1,=y").Inc() // leading digit, malformed pairs
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `serve_requests{tenant="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	// Leading digit is sanitized and malformed label pairs are dropped
+	// rather than rendered as broken syntax.
+	if !strings.Contains(out, `_weird_name{x="1"} 1`) {
+		t.Errorf("malformed series not normalized:\n%s", out)
+	}
+}
+
+// TestPrometheusSharedFamily verifies labeled and unlabeled series with
+// the same base name fold into one family with a single TYPE line.
+func TestPrometheusSharedFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(10)
+	r.Counter("serve.requests;tenant=a").Add(4)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE serve_requests counter"); got != 1 {
+		t.Errorf("want exactly one TYPE line for the family, got %d:\n%s", got, out)
+	}
+	wantOrder := "serve_requests 10\nserve_requests{tenant=\"a\"} 4\n"
+	if !strings.Contains(out, wantOrder) {
+		t.Errorf("unlabeled series must sort before labeled:\n%s", out)
+	}
+}
+
+// TestScrapeIsReadOnly proves a scrape storm cannot perturb concurrent
+// recording: writers hammer a counter, a gauge, and a histogram while
+// scrapers loop, and the final values are exactly what the writers
+// wrote — no reset-on-read, no lost updates.
+func TestScrapeIsReadOnly(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("soak.count")
+	g := r.Gauge("soak.level")
+	h := r.Histogram("soak.values")
+
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 32))
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	const want = writers * perWriter
+	if got := c.Value(); got != want {
+		t.Errorf("counter: got %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge: got %g, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count: got %d, want %d", got, want)
+	}
+	// A final scrape agrees with the handles.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("soak_count %d", want)) {
+		t.Errorf("final scrape disagrees with counter:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+// The concurrent-safe scrape path.
+//
+// Snapshot() copies every metric into plain values, which is what the
+// exit-time JSON dump wants. A long-lived exporter (the Prometheus
+// /metrics endpoint) instead needs to walk the LIVE metrics repeatedly
+// while campaigns are recording into them: Read returns the registered
+// handles themselves, sorted by name, so a scrape reads each metric's
+// current atomic state without copying buckets, without taking the
+// registry lock for longer than the map walk, and — critically —
+// without resetting anything. Scraping is a pure read: a campaign
+// running concurrently observes identical final counts whether it was
+// scraped zero times or a thousand (see TestScrapeMidCampaign).
+
+import "sort"
+
+// NamedCounter pairs a counter with its registered name.
+type NamedCounter struct {
+	Name    string
+	Counter *Counter
+}
+
+// NamedGauge pairs a gauge with its registered name.
+type NamedGauge struct {
+	Name  string
+	Gauge *Gauge
+}
+
+// NamedHistogram pairs a histogram with its registered name.
+type NamedHistogram struct {
+	Name      string
+	Histogram *Histogram
+}
+
+// View is a stable listing of a registry's live metric handles, each
+// slice sorted by name. The handles stay valid (and keep updating)
+// after Read returns; a View is a directory, not a copy.
+type View struct {
+	Counters   []NamedCounter
+	Gauges     []NamedGauge
+	Histograms []NamedHistogram
+}
+
+// Read lists the currently registered metrics in sorted name order.
+// The registry lock is held only while the maps are walked; reading the
+// returned handles is lock-free and never perturbs recorded values.
+func (r *Registry) Read() View {
+	r.mu.Lock()
+	v := View{
+		Counters:   make([]NamedCounter, 0, len(r.counters)),
+		Gauges:     make([]NamedGauge, 0, len(r.gauges)),
+		Histograms: make([]NamedHistogram, 0, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		v.Counters = append(v.Counters, NamedCounter{name, c})
+	}
+	for name, g := range r.gauges {
+		v.Gauges = append(v.Gauges, NamedGauge{name, g})
+	}
+	for name, h := range r.hists {
+		v.Histograms = append(v.Histograms, NamedHistogram{name, h})
+	}
+	r.mu.Unlock()
+	sort.Slice(v.Counters, func(i, j int) bool { return v.Counters[i].Name < v.Counters[j].Name })
+	sort.Slice(v.Gauges, func(i, j int) bool { return v.Gauges[i].Name < v.Gauges[j].Name })
+	sort.Slice(v.Histograms, func(i, j int) bool { return v.Histograms[i].Name < v.Histograms[j].Name })
+	return v
+}
