@@ -8,6 +8,9 @@
 #   make fleet-crash - the fleet fault matrix: lease races, zombie
 #                  fencing, crash-between-claim-and-record, and the
 #                  kill -9 subprocess recovery test, under -race
+#   make chaos   - the supervision soak: real subprocess workers under a
+#                  seed-pinned SIGKILL/SIGSTOP schedule plus a poison
+#                  shard, proving quarantine + bit-identical recovery
 #   make fuzz    - short fuzz pass over the sparse decode and
 #                  checkpoint-loader targets
 #   make bench   - full benchmark harness (regenerates every figure)
@@ -26,13 +29,13 @@ FUZZTIME ?= 10s
 # package rather than aggregate so an untested package cannot hide
 # behind a well-tested one.
 COVER_FLOOR ?= 70
-COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet internal/serve
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet internal/serve internal/supervise internal/chaos
 
-.PHONY: all check build test race race-fast vet cover fuzz fleet-crash bench bench-inference bench-fleet bench-serve serve-smoke clean
+.PHONY: all check build test race race-fast vet cover fuzz fleet-crash chaos bench bench-inference bench-fleet bench-serve serve-smoke clean
 
 all: check race
 
-check: build test vet race-fast serve-smoke
+check: build test vet race-fast serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -56,7 +59,7 @@ race: vet
 # in tier 1 so a data race cannot land even when the full race tier is
 # skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/... ./internal/supervise/... ./internal/chaos/...
 
 # The server's own end-to-end smoke: train, serve every endpoint on an
 # ephemeral port, scrape /metrics, drain.
@@ -69,6 +72,15 @@ serve-smoke:
 # kill -9 subprocess recovery test.
 fleet-crash:
 	$(GO) test -race -count=3 ./internal/fleet/
+
+# The supervision soak: the chaos injector SIGKILLs and SIGSTOPs real
+# campaignd-style subprocess workers on a seed-pinned schedule while a
+# poison shard crashes every claimant, and the supervisor must converge
+# — poison quarantined, healthy shards bit-identical to a clean run,
+# zero stuck leases. Seed-pinned and bounded (~60s worst case), so it
+# is deterministic enough to sit in tier 1.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Supervis|Quarantin|Poison' ./internal/supervise/ ./internal/chaos/ ./internal/fleet/
 
 cover:
 	@fail=0; \
@@ -91,6 +103,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzECCCorrect -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/campaign/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzParseLease -fuzztime=$(FUZZTIME) ./internal/fleet/
+	$(GO) test -fuzz=FuzzParseHeartbeat -fuzztime=$(FUZZTIME) ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem .

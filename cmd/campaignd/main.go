@@ -1,8 +1,9 @@
 // Command campaignd coordinates fault-injection campaign fleets: it
 // cuts a campaign into shards (plan), runs lease-claiming workers
-// against the shared fleet directory (work), folds completed shard WALs
-// into one deterministic result (merge), and reports live shard state
-// (status).
+// against the shared fleet directory (work), spawns and self-heals a
+// whole worker fleet in one command (supervise), folds completed shard
+// WALs into one deterministic result (merge), and reports live shard
+// state (status; exit 2 when the fleet is stalled or degraded).
 //
 // A fleet directory is the only coordination channel: any number of
 // worker processes — on one machine or many sharing a filesystem —
@@ -14,10 +15,15 @@
 // Usage:
 //
 //	campaignd plan -dir fleet/ -spec synth -configs a,b -trials 64 -shard-size 8
-//	campaignd work -dir fleet/ -name w1 &
-//	campaignd work -dir fleet/ -name w2 &
+//	campaignd supervise -dir fleet/ -n 4      # or: campaignd work -dir fleet/ &
 //	campaignd status -dir fleet/
 //	campaignd merge -dir fleet/
+//
+// supervise re-executes this binary as its workers: crashed workers
+// restart under jittered exponential backoff, and a shard whose
+// claimants die repeatedly without progress (a poison trial) is
+// quarantined so the rest of the fleet converges with explicitly
+// degraded coverage instead of crash-looping.
 //
 // The -spec kind is recorded in the manifest so every worker rebuilds
 // the identical trial function:
@@ -34,14 +40,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/exper"
 	"repro/internal/fleet"
 	"repro/internal/stats"
+	"repro/internal/supervise"
 )
 
 func main() {
@@ -56,6 +65,8 @@ func main() {
 		cmdPlan(os.Args[2:])
 	case "work":
 		cmdWork(os.Args[2:])
+	case "supervise":
+		cmdSupervise(os.Args[2:])
 	case "merge":
 		cmdMerge(os.Args[2:])
 	case "status":
@@ -72,10 +83,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: campaignd <subcommand> [flags]
 
-  plan    cut a campaign into shards and write the fleet manifest
-  work    run one worker: claim shards, execute trials, steal dead leases
-  merge   fold completed shard WALs into the campaign result
-  status  report per-shard lease state and record counts
+  plan       cut a campaign into shards and write the fleet manifest
+  work       run one worker: claim shards, execute trials, steal dead leases
+  supervise  spawn and babysit N workers: restart crashes with backoff,
+             quarantine poison shards that exhaust their crash budget
+  merge      fold completed shard WALs into the campaign result
+  status     report per-shard lease state and record counts
+             (exit 2 when any shard is stalled or quarantined)
 
 run "campaignd <subcommand> -h" for flags`)
 }
@@ -210,10 +224,15 @@ func cmdWork(args []string) {
 	wait := fs.Bool("wait", true, "keep polling (and stealing expired leases) until every shard is done")
 	workers := fs.Int("workers", 0, "concurrent trial workers per shard (0 = auto)")
 	progress := fs.Duration("progress", 5*time.Second, "progress-line interval on stderr (0 = silent)")
+	poison := fs.String("poison", "", "chaos: comma-separated config:trial cells that kill this process (testing only)")
 	tel := cliutil.AddFlagsTo(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("work: -dir is required")
+	}
+	cells, err := chaos.ParseCells(*poison)
+	if err != nil {
+		log.Fatal(err)
 	}
 	tel.Start()
 	defer tel.Dump()
@@ -234,6 +253,7 @@ func cmdWork(args []string) {
 		TTL: *ttl, Heartbeat: *heartbeat, Poll: *poll,
 		WaitForAll: *wait, Workers: *workers,
 		Fsync: tel.SyncPolicy(), Log: os.Stderr,
+		OnTrialStart: chaos.PoisonHook(cells, nil),
 	}
 	if *progress > 0 {
 		opt.Progress = os.Stderr
@@ -251,6 +271,82 @@ func cmdWork(args []string) {
 			os.Exit(130)
 		}
 		log.Fatal(err)
+	}
+}
+
+// cmdSupervise runs the self-healing layer: it re-executes this binary
+// as "campaignd work" subprocesses and supervises them — crash
+// restarts with jittered backoff, poison-shard quarantine, stall
+// reaping — until the fleet converges.
+func cmdSupervise(args []string) {
+	fs := flag.NewFlagSet("campaignd supervise", flag.ExitOnError)
+	dir := fs.String("dir", "", "fleet directory")
+	n := fs.Int("n", 2, "worker subprocesses to supervise")
+	crashBudget := fs.Int("crash-budget", 3, "consecutive no-progress claimant deaths before a shard is quarantined")
+	backoff := fs.Duration("backoff", 150*time.Millisecond, "restart backoff base (full jitter, doubles per crash)")
+	backoffMax := fs.Duration("backoff-max", 5*time.Second, "restart backoff ceiling")
+	maxRestarts := fs.Int("max-restarts", 100, "total restart budget before the supervisor gives up")
+	stallTTL := fs.Duration("stall-ttl", 30*time.Second, "kill a worker whose newest lease heartbeat is older than this (0 = never)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "fleet-status polling interval")
+	seed := fs.Uint64("seed", 1, "backoff jitter seed")
+	ttl := fs.Duration("ttl", 10*time.Second, "lease TTL each worker declares")
+	heartbeat := fs.Duration("heartbeat", 0, "worker lease renewal interval (0 = ttl/4)")
+	workers := fs.Int("workers", 0, "concurrent trial workers per shard in each subprocess (0 = auto)")
+	poison := fs.String("poison", "", "chaos: config:trial cells passed to every worker (testing only)")
+	tel := cliutil.AddFlagsTo(fs)
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("supervise: -dir is required")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("supervise: cannot find own binary: %v", err)
+	}
+	tel.Start()
+	defer tel.Dump()
+
+	ctx, stop := cliutil.NotifyContext(context.Background())
+	defer stop()
+
+	rep, err := supervise.Run(ctx, supervise.Options{
+		Dir: *dir, Workers: *n,
+		Command: func(slot int, name string) (*exec.Cmd, error) {
+			argv := []string{"work",
+				"-dir", *dir, "-name", name,
+				"-ttl", ttl.String(), "-heartbeat", heartbeat.String(),
+				"-workers", fmt.Sprint(*workers), "-wait",
+			}
+			if *poison != "" {
+				argv = append(argv, "-poison", *poison)
+			}
+			cmd := exec.Command(self, argv...)
+			cmd.Stdout = os.Stderr // worker chatter must not pollute the report
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		},
+		CrashBudget: *crashBudget,
+		BackoffBase: *backoff, BackoffMax: *backoffMax,
+		MaxRestarts: *maxRestarts, StallTTL: *stallTTL,
+		Poll: *poll, Seed: *seed,
+		Log: os.Stderr,
+	})
+	fmt.Printf("supervise done: %d restart(s), %d clean exit(s), %d stall kill(s), converged=%v\n",
+		rep.Restarts, rep.CleanExits, rep.StallKills, rep.Converged)
+	if len(rep.Quarantined) > 0 {
+		fmt.Printf("WARNING: quarantined shard(s) %v — merged coverage will be degraded; "+
+			"fix the trial function, remove the .quarantined marker(s), and re-run to recover\n",
+			rep.Quarantined)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("interrupted: leases released by worker death are stealable; re-run supervise to continue")
+			tel.Dump()
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+	if rep.Converged {
+		fmt.Printf("fleet converged: campaignd merge -dir %s\n", *dir)
 	}
 }
 
@@ -300,7 +396,11 @@ func cmdMerge(args []string) {
 		fmt.Printf("  %-30s mean %.6g ±%.4g  worst %.6g  n=%d%s\n",
 			cr.Config, cr.Mean, cr.CIHalf, cr.Max, cr.N, note)
 	}
-	if res.Interrupted {
+	if len(rep.Quarantined) > 0 {
+		fmt.Printf("DEGRADED: quarantined shard(s) %v excluded by supervisor verdict; "+
+			"coverage stays short unless the markers are lifted and the fleet re-run\n", rep.Quarantined)
+	}
+	if res.Interrupted && len(rep.Quarantined) == 0 {
 		fmt.Println("partial merge: coverage holes remain; finish the fleet and merge again")
 	}
 }
@@ -321,12 +421,17 @@ func cmdStatus(args []string) {
 	if label == "" {
 		label = m.SpecKind
 	}
-	complete := 0
+	complete, stale, quarantined := 0, 0, 0
 	fmt.Printf("%-7s %-24s %-11s %-9s %-6s %-12s %-8s %s\n",
 		"shard", "config", "trials", "state", "epoch", "owner", "hb age", "records")
 	for _, st := range shards {
-		if st.State == fleet.StateComplete {
+		switch st.State {
+		case fleet.StateComplete:
 			complete++
+		case fleet.StateStale:
+			stale++
+		case fleet.StateQuarantined:
+			quarantined++
 		}
 		hb := "-"
 		if st.Owner != "" {
@@ -339,10 +444,19 @@ func cmdStatus(args []string) {
 		fmt.Printf("%-7s %-24s %4d-%-6d %-9s %-6d %-12s %-8s %d/%d\n",
 			st.Shard.ID, st.Shard.Config, st.Shard.Lo, st.Shard.Hi,
 			st.State, st.Epoch, owner, hb, st.Records, st.Shard.Hi-st.Shard.Lo)
+		if st.Quarantine != nil && st.Quarantine.Reason != "" {
+			fmt.Printf("        ^ quarantined: %s\n", st.Quarantine.Reason)
+		}
 	}
 	fmt.Printf("campaign %q: %d/%d shard(s) complete\n", label, complete, len(shards))
 	if complete == len(shards) {
 		fmt.Printf("all shards done: campaignd merge -dir %s\n", *dir)
+	}
+	// Degraded or wedged fleets exit non-zero so scripts and CI can gate
+	// on fleet health without parsing the table.
+	if stale > 0 || quarantined > 0 {
+		fmt.Printf("DEGRADED: %d stalled lease(s), %d quarantined shard(s)\n", stale, quarantined)
+		os.Exit(2)
 	}
 }
 

@@ -197,6 +197,13 @@ type Options struct {
 	// with "[identity] " so interleaved stderr from several workers on
 	// one machine stays attributable (e.g. "w3/shard s0007").
 	Identity string
+	// OnTrialStart, when non-nil, is called synchronously on the worker
+	// goroutine immediately before each trial executes (never for
+	// replayed or preloaded records, and once per trial regardless of
+	// retries). It exists for fault-injection harnesses: internal/chaos
+	// uses it to plant poison trials that kill the whole process at a
+	// deterministic (config, index) cell, the way an OOM kill would.
+	OnTrialStart func(Trial)
 }
 
 // Span is a per-config trial sub-range [Lo, Hi). See Options.Spans.
@@ -649,6 +656,9 @@ func (c *Campaign) worker(ctx context.Context, specs <-chan Trial, results chan<
 // engine metrics together with the trial's wall time including retries;
 // cancelled trials record nothing.
 func (c *Campaign) attempt(ctx context.Context, spec Trial) (rec *Record) {
+	if c.opt.OnTrialStart != nil {
+		c.opt.OnTrialStart(spec)
+	}
 	start := time.Now()
 	c.met.started.Inc()
 	defer func() {

@@ -1,0 +1,369 @@
+// Package chaos is the deterministic adversary: it composes the fault
+// surfaces the repository already has — errfs storage faults, the fleet
+// lease protocol's tolerance for dead and stalled holders, the campaign
+// engine's poison-trial hook — into seed-pinned schedules of process
+// kills, stalls, and poison trials, so a chaos soak is a reproducible
+// test instead of a flake generator.
+//
+// Three instruments:
+//
+//   - Poison cells (PoisonHook): a (config, trial-index) cell whose
+//     execution kills the whole process, the way an OOM kill or an
+//     unrecoverable runtime fault would. Planted through
+//     campaign.Options.OnTrialStart, so the death is deterministic in
+//     the trial schedule, not in wall time.
+//   - Signal schedules (NewSchedule + Injector): a seed-derived sequence
+//     of SIGKILL and SIGSTOP/SIGCONT events fired at live worker PIDs.
+//     The victim choice and every delay derive from the seed; only the
+//     interleaving with real execution varies, which is exactly the
+//     nondeterminism the fleet protocol must absorb.
+//   - Storage faults (FaultPlan): a seed-derived errfs plan for the
+//     supervisor-side files (crash journal, quarantine markers), proving
+//     the control plane degrades instead of dying when its own disk
+//     misbehaves.
+//
+// Everything derives from internal/stats.Source, so one uint64 seed
+// reproduces the whole adversarial run.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/errfs"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Seed-domain labels: each instrument forks the user seed with its own
+// constant so kills, stops, and storage faults draw independent
+// streams.
+const (
+	domainSchedule = 0x63686173_7363686d // "chas schm"
+	domainFaults   = 0x63686173_66617573 // "chas faus"
+)
+
+// OOMExitCode is the status a poison trial exits with by default:
+// 128+SIGKILL, what a shell reports for an OOM-killed process.
+const OOMExitCode = 137
+
+// Cell names one poison trial: trial Trial of config Config.
+type Cell struct {
+	Config string
+	Trial  int
+}
+
+func (c Cell) String() string { return c.Config + ":" + strconv.Itoa(c.Trial) }
+
+// ParseCells parses a comma-separated "config:trial" list (the CLI and
+// subprocess-environment wire format, e.g. "cfgA:3,cfgB:0").
+func ParseCells(s string) ([]Cell, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var cells []Cell
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("chaos: cell %q: want config:trial", part)
+		}
+		n, err := strconv.Atoi(part[i+1:])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("chaos: cell %q: bad trial index", part)
+		}
+		cells = append(cells, Cell{Config: part[:i], Trial: n})
+	}
+	return cells, nil
+}
+
+// FormatCells renders cells back to the ParseCells wire format.
+func FormatCells(cells []Cell) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// PoisonHook returns a campaign.Options.OnTrialStart hook that kills
+// the process when execution reaches a poison cell. kill defaults to
+// os.Exit(OOMExitCode) — an abrupt, unrecoverable death the campaign
+// engine's panic isolation cannot catch, which is the point: poison
+// models the failures that escape in-process recovery.
+func PoisonHook(cells []Cell, kill func()) func(campaign.Trial) {
+	if len(cells) == 0 {
+		return nil
+	}
+	if kill == nil {
+		kill = func() { os.Exit(OOMExitCode) }
+	}
+	poison := make(map[Cell]bool, len(cells))
+	for _, c := range cells {
+		poison[c] = true
+	}
+	return func(t campaign.Trial) {
+		if poison[Cell{Config: t.Config, Trial: t.Index}] {
+			fmt.Fprintf(os.Stderr, "chaos: poison trial (%s, %d): dying\n", t.Config, t.Index)
+			kill()
+		}
+	}
+}
+
+// Event kinds.
+const (
+	KindKill = "kill" // SIGKILL the victim
+	KindStop = "stop" // SIGSTOP the victim, SIGCONT after StopFor
+)
+
+// Event is one scheduled fault. After is the delay since the previous
+// event (so a schedule is a relative timeline); Pick selects the victim
+// among the PIDs alive at fire time (Pick mod live count).
+type Event struct {
+	After   time.Duration
+	Kind    string
+	StopFor time.Duration
+	Pick    uint64
+}
+
+// ScheduleOptions tunes NewSchedule.
+type ScheduleOptions struct {
+	// Seed pins the schedule; equal seeds give equal schedules.
+	Seed uint64
+	// Events is the schedule length (default 8).
+	Events int
+	// MeanGap is the average inter-event delay; each gap is uniform in
+	// [MeanGap/2, 3*MeanGap/2) (default 500ms).
+	MeanGap time.Duration
+	// StopFraction is the probability an event is a stall instead of a
+	// kill (default 0: kills only).
+	StopFraction float64
+	// MaxStop bounds a stall's duration; each stall is uniform in
+	// [MaxStop/4, MaxStop) (default 1s).
+	MaxStop time.Duration
+}
+
+// NewSchedule derives a fault schedule from the seed. The schedule is a
+// pure function of its options: replaying a failing soak needs only the
+// seed, never a recorded timeline.
+func NewSchedule(opt ScheduleOptions) []Event {
+	if opt.Events <= 0 {
+		opt.Events = 8
+	}
+	if opt.MeanGap <= 0 {
+		opt.MeanGap = 500 * time.Millisecond
+	}
+	if opt.MaxStop <= 0 {
+		opt.MaxStop = time.Second
+	}
+	src := stats.NewSource(opt.Seed).Fork(domainSchedule)
+	events := make([]Event, 0, opt.Events)
+	for i := 0; i < opt.Events; i++ {
+		ev := Event{
+			After: opt.MeanGap/2 + time.Duration(src.Float64()*float64(opt.MeanGap)),
+			Kind:  KindKill,
+			Pick:  src.Uint64(),
+		}
+		if src.Float64() < opt.StopFraction {
+			ev.Kind = KindStop
+			ev.StopFor = opt.MaxStop/4 + time.Duration(src.Float64()*0.75*float64(opt.MaxStop))
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// Injector fires a schedule at a live PID set. Track/Forget are wired
+// to a supervisor's spawn/exit notifications; Run walks the schedule.
+// Safe for concurrent use.
+type Injector struct {
+	sched  []Event
+	log    io.Writer
+	signal func(pid int, sig syscall.Signal) error
+
+	mu      sync.Mutex
+	pids    map[int]bool
+	stopped map[int]bool
+	kills   int
+	stops   int
+
+	killsMet *telemetry.Counter
+	stopsMet *telemetry.Counter
+}
+
+// NewInjector builds an injector over a schedule. reg nil means
+// telemetry.Default(); log nil means stderr.
+func NewInjector(sched []Event, reg *telemetry.Registry, log io.Writer) *Injector {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	if log == nil {
+		log = os.Stderr
+	}
+	return &Injector{
+		sched:    sched,
+		log:      log,
+		signal:   func(pid int, sig syscall.Signal) error { return syscall.Kill(pid, sig) },
+		pids:     map[int]bool{},
+		stopped:  map[int]bool{},
+		killsMet: reg.Counter("chaos.kills"),
+		stopsMet: reg.Counter("chaos.stops"),
+	}
+}
+
+// Track adds a live PID to the victim pool.
+func (in *Injector) Track(pid int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.pids[pid] = true
+}
+
+// Forget removes a PID (it exited; signalling it would hit a stranger
+// if the kernel recycled the number).
+func (in *Injector) Forget(pid int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.pids, pid)
+	delete(in.stopped, pid)
+}
+
+// Kills reports how many SIGKILLs were delivered.
+func (in *Injector) Kills() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.kills
+}
+
+// Stops reports how many SIGSTOP stalls were delivered.
+func (in *Injector) Stops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stops
+}
+
+// victim picks the event's victim among the currently tracked PIDs
+// (sorted, so the choice depends only on the pool and the seed-derived
+// Pick). Returns 0 when the pool is empty.
+func (in *Injector) victim(pick uint64) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.pids) == 0 {
+		return 0
+	}
+	ids := make([]int, 0, len(in.pids))
+	for pid := range in.pids {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	return ids[pick%uint64(len(ids))]
+}
+
+// Run fires the schedule, sleeping each event's After first. It returns
+// when the schedule is exhausted or ctx ends; any process still stopped
+// is resumed on the way out (a leaked SIGSTOP would strand a worker
+// forever).
+func (in *Injector) Run(ctx context.Context) {
+	defer in.resumeAll()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, ev := range in.sched {
+		timer.Reset(ev.After)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return
+		}
+		pid := in.victim(ev.Pick)
+		if pid == 0 {
+			continue
+		}
+		switch ev.Kind {
+		case KindKill:
+			if err := in.signal(pid, syscall.SIGKILL); err == nil {
+				in.mu.Lock()
+				in.kills++
+				in.mu.Unlock()
+				in.killsMet.Inc()
+				fmt.Fprintf(in.log, "chaos: SIGKILL pid %d\n", pid)
+			}
+		case KindStop:
+			if err := in.signal(pid, syscall.SIGSTOP); err != nil {
+				continue
+			}
+			in.mu.Lock()
+			in.stopped[pid] = true
+			in.stops++
+			in.mu.Unlock()
+			in.stopsMet.Inc()
+			fmt.Fprintf(in.log, "chaos: SIGSTOP pid %d for %v\n", pid, ev.StopFor)
+			wg.Add(1)
+			stopFor := ev.StopFor
+			go func() {
+				defer wg.Done()
+				t := time.NewTimer(stopFor)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+				}
+				in.resume(pid)
+			}()
+		}
+	}
+}
+
+// resume SIGCONTs one stopped PID (if still tracked as stopped).
+func (in *Injector) resume(pid int) {
+	in.mu.Lock()
+	wasStopped := in.stopped[pid]
+	delete(in.stopped, pid)
+	in.mu.Unlock()
+	if wasStopped {
+		_ = in.signal(pid, syscall.SIGCONT)
+	}
+}
+
+// resumeAll SIGCONTs every process the injector left stopped.
+func (in *Injector) resumeAll() {
+	in.mu.Lock()
+	var pids []int
+	for pid := range in.stopped {
+		pids = append(pids, pid)
+	}
+	in.stopped = map[int]bool{}
+	in.mu.Unlock()
+	for _, pid := range pids {
+		_ = in.signal(pid, syscall.SIGCONT)
+	}
+}
+
+// FaultPlan derives an errfs plan for the supervisor-side storage from
+// the seed: an fsync failure and a short write land at seed-chosen
+// early operations, scoped to pathMatch (e.g. the crash journal).
+// The control plane must absorb both — journal writes degrade to
+// in-memory accounting, never to a dead supervisor.
+func FaultPlan(seed uint64, pathMatch string) errfs.Plan {
+	src := stats.NewSource(seed).Fork(domainFaults)
+	return errfs.Plan{
+		FailSyncAt:   2 + src.Intn(8),
+		ShortWriteAt: 3 + src.Intn(12),
+		PathMatch:    pathMatch,
+	}
+}

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+)
+
+// TestScheduleDeterministic: same options, same schedule; different
+// seed, different schedule — the whole point of a replayable adversary.
+func TestScheduleDeterministic(t *testing.T) {
+	opt := ScheduleOptions{Seed: 42, Events: 16, MeanGap: 100 * time.Millisecond, StopFraction: 0.4}
+	a, b := NewSchedule(opt), NewSchedule(opt)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed gave different schedules")
+	}
+	opt.Seed = 43
+	if reflect.DeepEqual(a, NewSchedule(opt)) {
+		t.Fatal("different seed gave identical schedules")
+	}
+	if len(a) != 16 {
+		t.Fatalf("len = %d", len(a))
+	}
+	sawStop := false
+	for _, ev := range a {
+		if ev.After < 50*time.Millisecond || ev.After >= 150*time.Millisecond {
+			t.Fatalf("gap %v outside [MeanGap/2, 3*MeanGap/2)", ev.After)
+		}
+		switch ev.Kind {
+		case KindKill:
+		case KindStop:
+			sawStop = true
+			if ev.StopFor <= 0 {
+				t.Fatalf("stop with no duration: %+v", ev)
+			}
+		default:
+			t.Fatalf("unknown kind %q", ev.Kind)
+		}
+	}
+	if !sawStop {
+		t.Fatal("StopFraction 0.4 over 16 events produced no stops")
+	}
+}
+
+func TestParseCells(t *testing.T) {
+	cells, err := ParseCells(" cfgA:3 , cfgB:0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Cell{{"cfgA", 3}, {"cfgB", 0}}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if got := FormatCells(cells); got != "cfgA:3,cfgB:0" {
+		t.Fatalf("FormatCells = %q", got)
+	}
+	if c, err := ParseCells("  "); err != nil || c != nil {
+		t.Fatalf("blank: %v, %v", c, err)
+	}
+	// A config ID may itself contain colons; the LAST colon splits.
+	cells, err = ParseCells("sram:2x:7")
+	if err != nil || len(cells) != 1 || cells[0] != (Cell{"sram:2x", 7}) {
+		t.Fatalf("colon config: %+v, %v", cells, err)
+	}
+	for _, bad := range []string{"noindex", ":3", "cfg:", "cfg:-1", "cfg:x"} {
+		if _, err := ParseCells(bad); err == nil {
+			t.Fatalf("ParseCells(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPoisonHook: the hook kills exactly at its cells and nowhere else,
+// and a cell-free hook is nil (so the engine skips the callback
+// entirely).
+func TestPoisonHook(t *testing.T) {
+	if PoisonHook(nil, nil) != nil {
+		t.Fatal("empty cells should yield a nil hook")
+	}
+	killed := 0
+	hook := PoisonHook([]Cell{{"cfgB", 2}}, func() { killed++ })
+	for i := 0; i < 4; i++ {
+		hook(campaign.Trial{Config: "cfgA", Index: i})
+		hook(campaign.Trial{Config: "cfgB", Index: i})
+	}
+	if killed != 1 {
+		t.Fatalf("killed %d times, want 1", killed)
+	}
+}
+
+// fakeSignaller records delivered signals instead of touching real
+// processes.
+type fakeSignaller struct {
+	mu   sync.Mutex
+	sent []struct {
+		pid int
+		sig syscall.Signal
+	}
+}
+
+func (f *fakeSignaller) send(pid int, sig syscall.Signal) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, struct {
+		pid int
+		sig syscall.Signal
+	}{pid, sig})
+	return nil
+}
+
+func (f *fakeSignaller) count(sig syscall.Signal) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, s := range f.sent {
+		if s.sig == sig {
+			n++
+		}
+	}
+	return n
+}
+
+// TestInjectorFiresAndResumes: kills land on tracked PIDs, stops are
+// always paired with a resume (no worker left SIGSTOPped), forgotten
+// PIDs are never signalled, and the counters/telemetry agree.
+func TestInjectorFiresAndResumes(t *testing.T) {
+	sched := []Event{
+		{After: time.Millisecond, Kind: KindKill, Pick: 0},
+		{After: time.Millisecond, Kind: KindStop, StopFor: 5 * time.Millisecond, Pick: 1},
+		{After: time.Millisecond, Kind: KindKill, Pick: 2},
+	}
+	reg := telemetry.NewRegistry()
+	var logbuf bytes.Buffer
+	in := NewInjector(sched, reg, &logbuf)
+	fake := &fakeSignaller{}
+	in.signal = fake.send
+	in.Track(100)
+	in.Track(200)
+	in.Forget(200)
+	in.Track(300)
+	in.Run(context.Background())
+	if got := in.Kills(); got != 2 {
+		t.Fatalf("kills = %d", got)
+	}
+	if got := in.Stops(); got != 1 {
+		t.Fatalf("stops = %d", got)
+	}
+	if fake.count(syscall.SIGCONT) != 1 {
+		t.Fatalf("SIGCONT count = %d; a stop must always be resumed", fake.count(syscall.SIGCONT))
+	}
+	fake.mu.Lock()
+	for _, s := range fake.sent {
+		if s.pid == 200 {
+			t.Fatalf("signalled forgotten pid 200 with %v", s.sig)
+		}
+	}
+	fake.mu.Unlock()
+	if v := reg.Counter("chaos.kills").Value(); v != 2 {
+		t.Fatalf("chaos.kills = %d", v)
+	}
+	if v := reg.Counter("chaos.stops").Value(); v != 1 {
+		t.Fatalf("chaos.stops = %d", v)
+	}
+}
+
+// TestInjectorCancelResumesStopped: cancelling mid-stall still delivers
+// the SIGCONT — chaos must clean up its own stalls on the way out.
+func TestInjectorCancelResumesStopped(t *testing.T) {
+	sched := []Event{
+		{After: time.Millisecond, Kind: KindStop, StopFor: time.Hour, Pick: 0},
+		{After: time.Hour, Kind: KindKill, Pick: 0},
+	}
+	in := NewInjector(sched, telemetry.NewRegistry(), &bytes.Buffer{})
+	fake := &fakeSignaller{}
+	in.signal = fake.send
+	in.Track(42)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { in.Run(ctx); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for fake.count(syscall.SIGSTOP) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("stop never fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if fake.count(syscall.SIGCONT) != 1 {
+		t.Fatalf("SIGCONT count = %d after cancel", fake.count(syscall.SIGCONT))
+	}
+}
+
+// TestInjectorEmptyPool: events with no tracked PIDs are no-ops, not
+// panics.
+func TestInjectorEmptyPool(t *testing.T) {
+	in := NewInjector([]Event{{After: time.Millisecond, Kind: KindKill}}, telemetry.NewRegistry(), &bytes.Buffer{})
+	fake := &fakeSignaller{}
+	in.signal = fake.send
+	in.Run(context.Background())
+	if len(fake.sent) != 0 || in.Kills() != 0 {
+		t.Fatalf("empty pool signalled: %+v", fake.sent)
+	}
+}
+
+// TestFaultPlanDeterministic: the storage-fault plan is a pure function
+// of the seed and lands within its documented operation windows.
+func TestFaultPlanDeterministic(t *testing.T) {
+	a, b := FaultPlan(7, "crashes.wal"), FaultPlan(7, "crashes.wal")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed gave different plans")
+	}
+	if a.PathMatch != "crashes.wal" {
+		t.Fatalf("PathMatch = %q", a.PathMatch)
+	}
+	if a.FailSyncAt < 2 || a.FailSyncAt >= 10 || a.ShortWriteAt < 3 || a.ShortWriteAt >= 15 {
+		t.Fatalf("plan outside windows: %+v", a)
+	}
+}

@@ -1,0 +1,219 @@
+package chaos
+
+// The chaos soak: everything at once, seed-pinned, bounded. A fleet
+// with a poison shard is supervised while this package's own schedule
+// SIGKILLs and SIGSTOPs the workers and an errfs plan corrupts the
+// supervisor's crash journal. The invariants at the end are absolute:
+//
+//   - the run converges unattended within a bounded restart count;
+//   - exactly the poison shard is quarantined;
+//   - every healthy config merges bit-identical to a clean
+//     single-process run — without AllowPartial;
+//   - no lease is left stuck (every shard ends complete or
+//     quarantined).
+//
+// Worker subprocesses are this test binary re-executed (TestMain sees
+// CHAOS_WORKER_DIR and becomes a worker). One seed pins the trial
+// values, the kill/stall schedule, and the storage faults; rerunning a
+// failure needs nothing but this file.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/errfs"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+	"repro/internal/supervise"
+	"repro/internal/telemetry"
+)
+
+const soakSeed = 20260808
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("CHAOS_WORKER_DIR"); dir != "" {
+		os.Exit(chaosWorkerMain(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// soakRun is the deterministic synthetic trial shared by workers and
+// the reference run.
+func soakRun(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+	src := stats.NewSource(t.Seed)
+	return campaign.Sample{
+		Value: src.Gaussian(1, 0.25),
+		Extra: map[string]float64{"faults": float64(src.Intn(100))},
+	}, nil
+}
+
+func chaosWorkerMain(dir string) int {
+	sleepMS, _ := strconv.Atoi(os.Getenv("CHAOS_WORKER_SLEEP_MS"))
+	run := func(ctx context.Context, tr campaign.Trial) (campaign.Sample, error) {
+		if sleepMS > 0 {
+			select {
+			case <-time.After(time.Duration(sleepMS) * time.Millisecond):
+			case <-ctx.Done():
+				return campaign.Sample{}, ctx.Err()
+			}
+		}
+		return soakRun(ctx, tr)
+	}
+	cells, err := ParseCells(os.Getenv("CHAOS_WORKER_POISON"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker subprocess:", err)
+		return 1
+	}
+	_, err = fleet.Work(context.Background(), fleet.WorkerOptions{
+		Dir:          dir,
+		Name:         os.Getenv("CHAOS_WORKER_NAME"),
+		Run:          run,
+		Workers:      1,
+		TTL:          time.Second,
+		Heartbeat:    100 * time.Millisecond,
+		WaitForAll:   true,
+		OnTrialStart: PoisonHook(cells, nil),
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker subprocess:", err)
+		return 1
+	}
+	return 0
+}
+
+// TestChaosSoak: the full battery. Runtime is bounded by the supervisor
+// context (50s hard cap; typically finishes in a few seconds).
+func TestChaosSoak(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	m, err := fleet.Plan(fleet.PlanSpec{
+		Dir:  dir,
+		Seed: soakSeed, Configs: []string{"A", "B", "C", "poison"},
+		MaxTrials: 8, ShardSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards: s0000-s0005 healthy (A, B, C × 2), s0006 poison[0,4),
+	// s0007 poison[4,8). Cell poison:6 poisons s0007 only.
+	const poisonCells = "poison:6"
+
+	// Clean single-process reference for the bit-identical check.
+	c, err := campaign.New(m.Configs, soakRun, campaign.Options{
+		Seed: m.Seed, MaxTrials: m.MaxTrials, Workers: 4, Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	sched := NewSchedule(ScheduleOptions{
+		Seed: soakSeed, Events: 12,
+		MeanGap: 200 * time.Millisecond, StopFraction: 0.5, MaxStop: 800 * time.Millisecond,
+	})
+	inj := NewInjector(sched, reg, os.Stderr)
+
+	// Storage faults against the supervisor's own ledger: the journal
+	// must degrade, the run must not.
+	supFS := errfs.New(nil, FaultPlan(soakSeed, "crashes.wal"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Second)
+	defer cancel()
+	injDone := make(chan struct{})
+	go func() { inj.Run(ctx); close(injDone) }()
+
+	rep, err := supervise.Run(ctx, supervise.Options{
+		Dir: dir, Workers: 3,
+		Command: func(slot int, name string) (*exec.Cmd, error) {
+			cmd := exec.Command(os.Args[0], "-test.run=^$")
+			cmd.Env = append(os.Environ(),
+				"CHAOS_WORKER_DIR="+dir,
+				"CHAOS_WORKER_NAME="+name,
+				"CHAOS_WORKER_POISON="+poisonCells,
+				"CHAOS_WORKER_SLEEP_MS=40",
+			)
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		},
+		NamePrefix:  "soak",
+		CrashBudget: 3,
+		BackoffBase: 50 * time.Millisecond, BackoffMax: 500 * time.Millisecond,
+		StallTTL: 2500 * time.Millisecond,
+		Poll:     200 * time.Millisecond,
+		Seed:     soakSeed,
+		FS:       supFS,
+		Metrics:  reg, Log: os.Stderr,
+		OnSpawn: func(_, pid int) { inj.Track(pid) },
+		OnExit:  func(_, pid int) { inj.Forget(pid) },
+	})
+	cancel()
+	<-injDone
+	if err != nil {
+		t.Fatalf("supervisor: %v (report %+v)", err, rep)
+	}
+	if !rep.Converged {
+		t.Fatalf("soak did not converge: %+v", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "s0007" {
+		t.Fatalf("quarantined = %v, want exactly [s0007]", rep.Quarantined)
+	}
+	if rep.Restarts >= 60 {
+		t.Fatalf("restarts = %d; not bounded", rep.Restarts)
+	}
+	t.Logf("soak: %d restart(s), %d clean exit(s), %d stall kill(s), %d chaos kill(s), %d stall(s)",
+		rep.Restarts, rep.CleanExits, rep.StallKills, inj.Kills(), inj.Stops())
+
+	// Zero stuck leases: every shard is terminal.
+	_, statuses, err := fleet.Status(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range statuses {
+		want := fleet.StateComplete
+		if st.Shard.ID == "s0007" {
+			want = fleet.StateQuarantined
+		}
+		if st.State != want {
+			t.Fatalf("shard %s state = %q, want %q", st.Shard.ID, st.State, want)
+		}
+	}
+
+	// Merge without AllowPartial: quarantine is the sanctioned hole.
+	mrep, err := fleet.Merge(fleet.MergeOptions{Dir: dir, Log: os.Stderr, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mrep.Result.Degraded || mrep.Mismatches != 0 {
+		t.Fatalf("merge report: Degraded=%v Mismatches=%d", mrep.Result.Degraded, mrep.Mismatches)
+	}
+	byConfig := map[string]campaign.ConfigResult{}
+	for _, cr := range mrep.Result.Configs {
+		byConfig[cr.Config] = cr
+	}
+	for _, cr := range ref.Configs {
+		if cr.Config == "poison" {
+			// s0006 always completes (4 records); s0007 salvages trials
+			// 4-5, where trial 5's append races the poison death.
+			if n := byConfig["poison"].N; n < 5 || n > 6 {
+				t.Fatalf("poison config folded %d trial(s), want 5-6", n)
+			}
+			continue
+		}
+		got := byConfig[cr.Config]
+		if got.N != cr.N || got.Mean != cr.Mean || got.Std != cr.Std ||
+			got.CIHalf != cr.CIHalf || got.Min != cr.Min || got.Max != cr.Max {
+			t.Fatalf("config %s not bit-identical to clean run:\n  %+v\nvs\n  %+v", cr.Config, cr, got)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/fleet"
@@ -64,8 +65,12 @@ func FleetRun(ctx context.Context, n int, dir string, configs []string, run camp
 	}
 
 	rep, _, err := fleet.RunLocal(ctx, n, fleet.WorkerOptions{
-		Dir:           dir,
-		Run:           run,
+		Dir: dir,
+		Run: run,
+		// Workers share one process and one page cache, so heartbeats are
+		// cheap; a tight TTL means an interrupted run's leases expire
+		// fast and a resume steals them without a 10s default stare-down.
+		TTL:           2 * time.Second,
 		Workers:       opt.Workers,
 		Fsync:         opt.Fsync,
 		Log:           os.Stderr,

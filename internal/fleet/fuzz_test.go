@@ -1,0 +1,103 @@
+package fleet
+
+// Fuzzing the lease-protocol parsers. These parsers read files that
+// arbitrary dying, stalled, and zombie processes append to, on
+// filesystems that tear writes — so the inputs are adversarial by
+// nature, and the properties are absolute:
+//
+//   - FuzzParseLease: readLease and stealable never panic, whatever
+//     bytes a lease file holds, and never report ok with a nonsense
+//     epoch.
+//   - FuzzParseHeartbeat: under truncation and single-bit corruption of
+//     a genuine lease file, an accepted record is always EXACTLY one of
+//     the records the writer wrote — a forged epoch, owner, or TTL is
+//     never accepted. Sound because the v2 frame's CRC32 detects every
+//     single-bit flip, and truncation only removes whole-suffix bytes.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+)
+
+func writeLeaseFile(t interface{ Fatal(...any) }, data []byte) string {
+	dir, err := os.MkdirTemp("", "fleetfuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s0000.e1.lease")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func FuzzParseLease(f *testing.F) {
+	valid := durable.AppendFrame(nil, []byte(`{"shard":"s0000","epoch":1,"owner":"w1","hb_ms":1700000000000,"ttl_ms":10000}`))
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("v2 00000000 5 hello\n"))
+	f.Add([]byte(`{"epoch":-3}` + "\n"))
+	f.Add([]byte("v2 deadbeef 12 {\"epoch\":99}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := writeLeaseFile(t, data)
+		defer os.RemoveAll(filepath.Dir(path))
+		rec, ok := readLease(orFS(nil), path)
+		if ok && rec.Epoch <= 0 {
+			t.Fatalf("accepted record with epoch %d from %q", rec.Epoch, data)
+		}
+		// stealable must also survive arbitrary bytes (it layers aging
+		// and the flock probe on the same parse).
+		_, _ = stealable(orFS(nil), path, time.Second, time.Second, time.Now())
+	})
+}
+
+func FuzzParseHeartbeat(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint8(0))
+	f.Add(uint16(50), uint16(10), uint8(3))
+	f.Add(uint16(1<<15), uint16(200), uint8(7))
+	f.Add(uint16(3), uint16(90), uint8(1))
+	f.Fuzz(func(t *testing.T, truncAt, flipAt uint16, flipBit uint8) {
+		// A genuine lease file: one claim plus two heartbeat renewals,
+		// written exactly as lease.heartbeat writes them.
+		written := []leaseRecord{
+			{Shard: "s0007", Epoch: 3, Owner: "w-alpha", HBMillis: 1700000000000, TTLMillis: 10000},
+			{Shard: "s0007", Epoch: 3, Owner: "w-alpha", HBMillis: 1700000002500, TTLMillis: 10000},
+			{Shard: "s0007", Epoch: 3, Owner: "w-alpha", HBMillis: 1700000005000, TTLMillis: 10000},
+		}
+		var data []byte
+		for _, rec := range written {
+			payload, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = durable.AppendFrame(data, payload)
+		}
+		// Corrupt: truncate (a torn final write) then flip one bit (a
+		// storage error).
+		if int(truncAt) < len(data) {
+			data = data[:truncAt]
+		}
+		if len(data) > 0 {
+			data[int(flipAt)%len(data)] ^= 1 << (flipBit % 8)
+		}
+		path := writeLeaseFile(t, data)
+		defer os.RemoveAll(filepath.Dir(path))
+		rec, ok := readLease(orFS(nil), path)
+		if !ok {
+			return // rejection is always sound
+		}
+		for _, w := range written {
+			if rec == w {
+				return
+			}
+		}
+		t.Fatalf("accepted forged record %+v (trunc %d, flip bit %d of byte %d)",
+			rec, truncAt, flipBit%8, int(flipAt)%max(len(data), 1))
+	})
+}

@@ -61,6 +61,13 @@ type MergeReport struct {
 	Mismatches int
 	// TornLines counts corrupt WAL lines skipped across all epochs.
 	TornLines int
+	// Quarantined lists shards withdrawn from the campaign by a
+	// supervisor's crash-budget verdict. Their salvaged records are
+	// folded, the missing coverage flags Result.Degraded, and — unlike
+	// merely incomplete shards — they never make the merge fail: a
+	// quarantined shard is never going to finish, and refusing to merge
+	// around it would turn bounded coverage loss back into an outage.
+	Quarantined []string
 }
 
 // Merge loads every shard WAL of the fleet directory and folds the
@@ -85,9 +92,20 @@ func Merge(opt MergeOptions) (*MergeReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if done {
+		quarantined := false
+		if !done {
+			if quarantined, err = IsQuarantined(fsys, opt.Dir, sh.ID); err != nil {
+				return nil, err
+			}
+		}
+		switch {
+		case done:
 			rep.Done++
-		} else {
+		case quarantined:
+			rep.Quarantined = append(rep.Quarantined, sh.ID)
+			fmt.Fprintf(logw, "fleet: merge: shard %s (%s) is quarantined; folding salvaged records as degraded coverage\n",
+				sh.ID, sh.Config)
+		default:
 			incomplete = append(incomplete, sh.ID)
 			if !opt.AllowPartial {
 				continue // keep collecting the full list for the error
@@ -139,6 +157,17 @@ func Merge(opt MergeOptions) (*MergeReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(rep.Quarantined) > 0 {
+		// Reuse campaign.Result.Degraded: the aggregates that exist are
+		// correct, but coverage is knowingly short of the plan — the same
+		// semantics as a campaign that lost its checkpoint mid-run.
+		res.Degraded = true
+	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	reg.Gauge("fleet.shards.quarantined").Set(float64(len(rep.Quarantined)))
 	rep.Result = res
 	rep.Records = len(all)
 	return rep, nil
@@ -154,10 +183,11 @@ func sameRecord(a, b *campaign.Record) bool {
 
 // Shard lease states reported by Status.
 const (
-	StateFree     = "free"     // never claimed
-	StateLeased   = "leased"   // live holder
-	StateStale    = "stale"    // holder dead or lease expired; stealable
-	StateComplete = "complete" // done marker written
+	StateFree        = "free"        // never claimed
+	StateLeased      = "leased"      // live holder
+	StateStale       = "stale"       // holder dead or lease expired; stealable
+	StateComplete    = "complete"    // done marker written
+	StateQuarantined = "quarantined" // withdrawn by a crash-budget verdict
 )
 
 // ShardStatus is one shard's live state.
@@ -173,6 +203,9 @@ type ShardStatus struct {
 	HBAge time.Duration
 	// Records counts distinct trials already on disk across all epochs.
 	Records int
+	// Quarantine carries the quarantine record when State is
+	// StateQuarantined (nil otherwise).
+	Quarantine *QuarantineRecord
 }
 
 // Status reports the live state of every shard, without writing
@@ -208,6 +241,11 @@ func Status(fsys durable.FS, dir string) (*Manifest, []ShardStatus, error) {
 			return nil, nil, err
 		} else if done {
 			st.State = StateComplete
+		} else if q, err := ReadQuarantine(fsys, dir, sh.ID); err != nil {
+			return nil, nil, err
+		} else if q != nil {
+			st.State = StateQuarantined
+			st.Quarantine = q
 		}
 		seen := map[int]bool{}
 		for e := 1; e <= top; e++ {

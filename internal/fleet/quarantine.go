@@ -1,0 +1,104 @@
+package fleet
+
+// Shard quarantine: the fleet-level analogue of graceful ECC
+// degradation. A poison shard — a (config × seed-range) region whose
+// trial deterministically kills every worker that claims it (a panic
+// the runtime cannot recover, an OOM kill) — would otherwise crash-loop
+// the fleet forever: claim, die, steal, die. Once a supervisor decides
+// the shard has exhausted its crash budget it writes a quarantine
+// marker; from then on workers skip the shard (it no longer blocks
+// WaitForAll convergence), Status reports it as quarantined, and Merge
+// folds whatever records its epochs salvaged while flagging the result
+// Degraded — bounded coverage loss instead of an unavailable fleet,
+// the same degrade-don't-die posture the storage layer takes toward
+// uncorrectable ECC blocks.
+//
+// The marker is an atomically-written JSON file beside the shard's
+// leases (<shard>.quarantined). Like done markers it is immutable
+// execution history: the first writer wins and the file is never
+// deleted by the fleet. Lifting a quarantine (after fixing the trial
+// function) is an explicit human act: remove the marker file and
+// re-run workers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/durable"
+)
+
+// quarantinePath is the marker location for a shard.
+func quarantinePath(dir, shard string) string {
+	return filepath.Join(dir, shard+".quarantined")
+}
+
+// QuarantineRecord is the content of a quarantine marker: enough to
+// explain, later, why coverage is missing.
+type QuarantineRecord struct {
+	Shard  string `json:"shard"`
+	Config string `json:"config,omitempty"`
+	// Crashes counts the consecutive no-progress claimant deaths that
+	// exhausted the crash budget.
+	Crashes int `json:"crashes"`
+	// Records is the distinct trial records salvaged across the shard's
+	// epochs at quarantine time (the merge still folds them).
+	Records int `json:"records"`
+	// Reason is the human-readable verdict.
+	Reason string `json:"reason"`
+	// By names the supervisor that made the call.
+	By string `json:"by,omitempty"`
+	// AtMillis is the supervisor's clock at the decision (Unix ms).
+	AtMillis int64 `json:"at_ms,omitempty"`
+}
+
+// Quarantine atomically writes a shard's quarantine marker. A marker
+// that already exists is left untouched (first writer wins — two
+// supervisors reaching the same verdict is not a conflict) and
+// reported via the bool.
+func Quarantine(fsys durable.FS, dir string, rec QuarantineRecord) (wrote bool, err error) {
+	if rec.Shard == "" {
+		return false, fmt.Errorf("fleet: quarantine: empty shard ID")
+	}
+	fsys = orFS(fsys)
+	path := quarantinePath(dir, rec.Shard)
+	if ok, err := exists(fsys, path); err != nil {
+		return false, err
+	} else if ok {
+		return false, nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return false, err
+	}
+	if err := durable.WriteFileAtomic(fsys, path, append(data, '\n'), 0o644); err != nil {
+		return false, fmt.Errorf("fleet: quarantine %s: %w", rec.Shard, err)
+	}
+	return true, nil
+}
+
+// ReadQuarantine returns a shard's quarantine record, or nil when the
+// shard is not quarantined. A marker whose JSON is unreadable still
+// quarantines (a non-nil record with only the shard ID): an ambiguous
+// marker must fail safe, not silently re-admit a poison shard.
+func ReadQuarantine(fsys durable.FS, dir, shard string) (*QuarantineRecord, error) {
+	fsys = orFS(fsys)
+	path := quarantinePath(dir, shard)
+	ok, err := exists(fsys, path)
+	if err != nil || !ok {
+		return nil, err
+	}
+	rec := &QuarantineRecord{Shard: shard}
+	if data, err := readAll(fsys, path); err == nil {
+		_ = json.Unmarshal(data, rec)
+	}
+	if rec.Shard == "" {
+		rec.Shard = shard
+	}
+	return rec, nil
+}
+
+// IsQuarantined reports whether a shard has a quarantine marker.
+func IsQuarantined(fsys durable.FS, dir, shard string) (bool, error) {
+	return exists(orFS(fsys), quarantinePath(dir, shard))
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/durable"
+	"repro/internal/telemetry"
+)
+
+// TestQuarantineFirstWriterWins: the marker is write-once — the first
+// verdict sticks, later writers are told they lost, and the record
+// round-trips.
+func TestQuarantineFirstWriterWins(t *testing.T) {
+	_, dir := planTestFleet(t, PlanSpec{Seed: 3, Configs: []string{"a"}, MaxTrials: 4})
+	rec := QuarantineRecord{Shard: "s0000", Config: "a", Crashes: 3, Records: 2,
+		Reason: "3 consecutive claimant deaths", By: "sup-test", AtMillis: 12345}
+	wrote, err := Quarantine(nil, dir, rec)
+	if err != nil || !wrote {
+		t.Fatalf("first quarantine: wrote=%v err=%v", wrote, err)
+	}
+	wrote, err = Quarantine(nil, dir, QuarantineRecord{Shard: "s0000", Reason: "second opinion"})
+	if err != nil || wrote {
+		t.Fatalf("second quarantine: wrote=%v err=%v, want false,nil", wrote, err)
+	}
+	got, err := ReadQuarantine(nil, dir, "s0000")
+	if err != nil || got == nil {
+		t.Fatalf("ReadQuarantine: %v, %v", got, err)
+	}
+	if *got != rec {
+		t.Fatalf("record did not round-trip: %+v vs %+v", *got, rec)
+	}
+	if q, err := IsQuarantined(nil, dir, "s0000"); err != nil || !q {
+		t.Fatalf("IsQuarantined = %v, %v", q, err)
+	}
+	if q, err := IsQuarantined(nil, dir, "s9999"); err != nil || q {
+		t.Fatalf("IsQuarantined on clean shard = %v, %v", q, err)
+	}
+	if _, err := Quarantine(nil, dir, QuarantineRecord{}); err == nil {
+		t.Fatal("empty shard ID accepted")
+	}
+}
+
+// TestQuarantineCorruptMarkerFailsSafe: a marker whose JSON is garbage
+// still quarantines — ambiguity must not re-admit a poison shard.
+func TestQuarantineCorruptMarkerFailsSafe(t *testing.T) {
+	_, dir := planTestFleet(t, PlanSpec{Seed: 3, Configs: []string{"a"}, MaxTrials: 4})
+	if err := durable.WriteFileAtomic(nil, quarantinePath(dir, "s0000"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuarantine(nil, dir, "s0000")
+	if err != nil || got == nil || got.Shard != "s0000" {
+		t.Fatalf("corrupt marker: got %+v, %v; want fail-safe record", got, err)
+	}
+}
+
+// TestQuarantinedShardSkippedAndMergeDegraded: the integration
+// contract — a WaitForAll worker converges around a quarantined shard
+// instead of claiming it, Status reports it, and Merge succeeds
+// WITHOUT AllowPartial, folding the healthy coverage and flagging the
+// result Degraded.
+func TestQuarantinedShardSkippedAndMergeDegraded(t *testing.T) {
+	m, dir := planTestFleet(t, PlanSpec{
+		Seed: 11, Configs: []string{"cfg"}, MaxTrials: 6, ShardSize: 3,
+	})
+	if len(m.Shards) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(m.Shards))
+	}
+	if wrote, err := Quarantine(nil, dir, QuarantineRecord{Shard: "s0001", Config: "cfg",
+		Crashes: 3, Reason: "poison (test)"}); err != nil || !wrote {
+		t.Fatalf("quarantine: %v, %v", wrote, err)
+	}
+
+	// WaitForAll would spin forever if the quarantined shard still
+	// counted as pending work; convergence is the property under test.
+	done := make(chan error, 1)
+	var rep *WorkReport
+	go func() {
+		var err error
+		rep, err = Work(context.Background(), WorkerOptions{
+			Dir: dir, Name: "w-quar", Run: detRun, WaitForAll: true,
+			TTL: 2 * time.Second, Log: os.Stderr, Metrics: telemetry.NewRegistry(),
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker did not converge around the quarantined shard")
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0] != "s0000" {
+		t.Fatalf("completed = %v, want [s0000]", rep.Completed)
+	}
+
+	_, statuses, err := Status(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]ShardStatus{}
+	for _, st := range statuses {
+		byID[st.Shard.ID] = st
+	}
+	if st := byID["s0000"]; st.State != StateComplete {
+		t.Fatalf("s0000 state = %q", st.State)
+	}
+	st := byID["s0001"]
+	if st.State != StateQuarantined || st.Quarantine == nil || st.Quarantine.Reason != "poison (test)" {
+		t.Fatalf("s0001 status = %+v", st)
+	}
+
+	// Merge without AllowPartial: quarantined coverage loss is not an
+	// error, it is a Degraded result.
+	reg := telemetry.NewRegistry()
+	mrep, err := Merge(MergeOptions{Dir: dir, Metrics: reg, Log: os.Stderr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrep.Quarantined) != 1 || mrep.Quarantined[0] != "s0001" {
+		t.Fatalf("merge quarantined = %v", mrep.Quarantined)
+	}
+	if !mrep.Result.Degraded {
+		t.Fatal("merged result not flagged Degraded")
+	}
+	if n := mrep.Result.Configs[0].N; n != 3 {
+		t.Fatalf("folded %d trials, want the 3 healthy ones", n)
+	}
+	if g := reg.Gauge("fleet.shards.quarantined").Value(); g != 1 {
+		t.Fatalf("fleet.shards.quarantined = %v", g)
+	}
+
+	// The healthy records must still be bit-identical to the same trials
+	// of a single-process run.
+	ref := reference(t, m)
+	refCfg, gotCfg := ref.Configs[0], mrep.Result.Configs[0]
+	if gotCfg.N >= refCfg.N || gotCfg.Min < refCfg.Min || gotCfg.Max > refCfg.Max {
+		t.Fatalf("degraded aggregate inconsistent with reference: %+v vs %+v", gotCfg, refCfg)
+	}
+
+	// An incomplete-but-not-quarantined shard still fails the merge
+	// without AllowPartial (quarantine is the only sanctioned hole).
+	m2, dir2 := planTestFleet(t, PlanSpec{Seed: 11, Configs: []string{"cfg"}, MaxTrials: 6, ShardSize: 3})
+	_ = m2
+	if _, err := Merge(MergeOptions{Dir: dir2, Log: os.Stderr, Metrics: telemetry.NewRegistry()}); err == nil ||
+		!strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("merge of untouched fleet: err = %v, want incomplete", err)
+	}
+}
+
+// TestMergeFoldsSalvagedRecordsOfQuarantinedShard: records a poison
+// shard's claimants wrote before dying are not lost — the merge folds
+// them as degraded coverage.
+func TestMergeFoldsSalvagedRecordsOfQuarantinedShard(t *testing.T) {
+	m, dir := planTestFleet(t, PlanSpec{
+		Seed: 13, Configs: []string{"cfg"}, MaxTrials: 4, ShardSize: 4,
+	})
+	sh := m.Shards[0]
+
+	// A claimant that salvages the first trials and then "dies" (context
+	// cancel mid-shard leaves the WAL with the completed records).
+	// Cancelling as trial 3 STARTS guarantees trials 1-2 are already
+	// appended; trial 3's own record may or may not make it.
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, _ = Work(ctx, WorkerOptions{
+		Dir: dir, Name: "w-salvage", TTL: 2 * time.Second,
+		Log: os.Stderr, Metrics: telemetry.NewRegistry(),
+		Run: func(c context.Context, tr campaign.Trial) (campaign.Sample, error) {
+			ran++
+			if ran >= 3 {
+				cancel()
+				return campaign.Sample{}, c.Err()
+			}
+			return detRun(c, tr)
+		},
+		Workers: 1,
+	})
+	cancel()
+
+	if wrote, err := Quarantine(nil, dir, QuarantineRecord{Shard: sh.ID, Config: sh.Config,
+		Crashes: 3, Records: 2, Reason: "poison (test)"}); err != nil || !wrote {
+		t.Fatalf("quarantine: %v, %v", wrote, err)
+	}
+	rep, err := Merge(MergeOptions{Dir: dir, Log: os.Stderr, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records < 2 {
+		t.Fatalf("salvaged %d record(s), want >= 2", rep.Records)
+	}
+	if !rep.Result.Degraded {
+		t.Fatal("result not Degraded")
+	}
+}

@@ -58,6 +58,10 @@ type WorkerOptions struct {
 	ProgressEvery time.Duration
 	// Metrics selects the telemetry registry (nil = telemetry.Default()).
 	Metrics *telemetry.Registry
+	// OnTrialStart is passed through to campaign.Options.OnTrialStart:
+	// a synchronous pre-trial hook for fault-injection harnesses (see
+	// internal/chaos poison trials).
+	OnTrialStart func(campaign.Trial)
 
 	// clock overrides time.Now in tests.
 	clock func() time.Time
@@ -181,6 +185,14 @@ func scanOnce(ctx context.Context, opt WorkerOptions, fsys durable.FS, m *Manife
 			return false, false, err
 		}
 		if done {
+			continue
+		}
+		// A quarantined shard is dead coverage, not pending work: skipping
+		// it without clearing allDone is what lets a WaitForAll fleet
+		// converge around a poison shard instead of crash-looping on it.
+		if q, err := IsQuarantined(fsys, opt.Dir, sh.ID); err != nil {
+			return false, false, err
+		} else if q {
 			continue
 		}
 		allDone = false
@@ -315,6 +327,7 @@ func runShard(ctx context.Context, opt WorkerOptions, fsys durable.FS, m *Manife
 		Metrics:        opt.Metrics,
 		Preload:        preload,
 		Identity:       identity,
+		OnTrialStart:   opt.OnTrialStart,
 		// CITarget deliberately left 0: early stopping is a decision about
 		// the config's in-order prefix, which only the merge fold sees.
 	}

@@ -60,8 +60,12 @@ func TestShed429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow request: %d: %s", resp.StatusCode, data)
 	}
-	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra != 7 {
-		t.Errorf("Retry-After = %q, want 7", resp.Header.Get("Retry-After"))
+	// Retry-After is the configured 7s jittered ±25% from the request
+	// seed: inside [5, 9], and bit-stable for the same seed.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 5 || ra > 9 {
+		t.Errorf("Retry-After = %q, want within [5, 9]", resp.Header.Get("Retry-After"))
+	} else if want := retryAfterSeconds(7*time.Second, 4); strconv.Itoa(ra) != want {
+		t.Errorf("Retry-After = %d not deterministic for seed 4 (want %s)", ra, want)
 	}
 	if shed.Value() != 1 {
 		t.Errorf("shed counter = %d, want 1", shed.Value())
@@ -198,5 +202,32 @@ func TestDrainDeadlineCancelsStuckTrial(t *testing.T) {
 	}
 	if code := <-done; code != http.StatusGatewayTimeout {
 		t.Errorf("stuck trial's waiter got %d, want 504", code)
+	}
+}
+
+// TestRetryAfterJitterEnvelope: the hint is deterministic per seed,
+// stays within ±25% of the configured duration, floors at 1s, and
+// actually spreads across seeds (the anti-stampede point).
+func TestRetryAfterJitterEnvelope(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		v := retryAfterSeconds(20*time.Second, seed)
+		if v != retryAfterSeconds(20*time.Second, seed) {
+			t.Fatalf("seed %d: hint not deterministic", seed)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 15 || n > 25 {
+			t.Fatalf("seed %d: Retry-After %q outside [15, 25]", seed, v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("64 seeds produced only %d distinct hints; jitter is not spreading retries", len(distinct))
+	}
+	// Sub-second bases floor at 1, never 0.
+	for seed := uint64(0); seed < 16; seed++ {
+		if v := retryAfterSeconds(300*time.Millisecond, seed); v != "1" {
+			t.Fatalf("seed %d: sub-second base gave %q, want floor 1", seed, v)
+		}
 	}
 }

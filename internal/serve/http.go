@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/ares"
+	"repro/internal/stats"
 )
 
 // endpoint names (also the telemetry label values).
@@ -95,7 +96,7 @@ func (s *Server) trialHandler(ep string) http.HandlerFunc {
 		key, run := s.plan(ep, req, cfg, lp)
 		val, err := s.submit(ctx, key, run)
 		if err != nil {
-			s.writeSubmitError(w, err)
+			s.writeSubmitError(w, req.Seed, err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, val)
@@ -154,14 +155,15 @@ func (s *Server) plan(ep string, req *Request, cfg ares.Config, lp ares.Lifetime
 	panic("serve: unknown endpoint " + ep) // static endpoint table; unreachable
 }
 
-// writeSubmitError maps admission-layer errors onto status codes.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+// writeSubmitError maps admission-layer errors onto status codes. The
+// request seed decorrelates the Retry-After hints of shed requests.
+func (s *Server) writeSubmitError(w http.ResponseWriter, seed uint64, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.opt.RetryAfter))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opt.RetryAfter, seed))
 		s.writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.opt.RetryAfter))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opt.RetryAfter, seed))
 		s.writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.writeError(w, http.StatusGatewayTimeout, err)
@@ -170,10 +172,16 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	}
 }
 
-// retryAfterSeconds renders a Retry-After header value (at least 1s:
-// the header has whole-second granularity and 0 invites a retry storm).
-func retryAfterSeconds(d time.Duration) string {
-	secs := int(d.Round(time.Second) / time.Second)
+// retryAfterSeconds renders a Retry-After header value, jittered ±25%
+// deterministically from the request seed. A campaign fleet's clients
+// all hit a full queue within the same tick; an identical hint would
+// march them back in lockstep and shed them again — jitter spreads the
+// retry wave. Derived from the seed (not a PRNG) so a replayed request
+// observes the same hint. Floor 1s: the header has whole-second
+// granularity and 0 invites an immediate retry storm.
+func retryAfterSeconds(d time.Duration, seed uint64) string {
+	factor := 0.75 + 0.5*stats.NewSource(seed).Fork(0x72657472_79616674).Float64() // "retr yaft"
+	secs := int(time.Duration(float64(d) * factor).Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -58,7 +58,9 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any requested deadline (default 60s).
 	MaxTimeout time.Duration
-	// RetryAfter is the hint returned with 429/503 (default 1s).
+	// RetryAfter is the hint returned with 429/503, before the ±25%
+	// per-request-seed jitter that decorrelates fleet retries
+	// (default 1s).
 	RetryAfter time.Duration
 	// Registry receives server telemetry (default telemetry.Default()).
 	Registry *telemetry.Registry

@@ -1,0 +1,145 @@
+package supervise
+
+// The crash journal: the supervisor's durable memory of worker deaths.
+//
+// Quarantine is a verdict about history — "K consecutive claimants of
+// this shard died without making progress" — so the history must
+// survive the supervisor itself dying. Each crash is one JSON entry in
+// a v2-framed WAL (crashes.wal) beside the fleet manifest, written
+// with SyncAlways: a crash the supervisor acted on is a crash a
+// restarted supervisor still knows about, so the crash budget cannot
+// reset by killing the judge.
+//
+// The journal degrades, never blocks: if the WAL cannot be opened or an
+// append fails (disk full, injected fault), the supervisor logs loudly
+// and continues with in-memory accounting only. A supervisor that died
+// because its own ledger's disk hiccuped would be a worse failure than
+// the ones it exists to absorb.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/durable"
+)
+
+// journalName is the crash journal file inside the fleet directory.
+const journalName = "crashes.wal"
+
+// crashEntry is one recorded worker death.
+type crashEntry struct {
+	// AtMillis is the supervisor clock at the death (Unix ms).
+	AtMillis int64 `json:"at_ms"`
+	// Slot and Worker identify the supervisor slot and its stable
+	// worker name; PID is the dead process.
+	Slot   int    `json:"slot"`
+	Worker string `json:"worker"`
+	PID    int    `json:"pid"`
+	// Exit describes how the process died ("signal killed", "exit 137").
+	Exit string `json:"exit"`
+	// Shard/Config/Epoch attribute the death to the lease the worker
+	// held, when one could be attributed (empty otherwise).
+	Shard  string `json:"shard,omitempty"`
+	Config string `json:"config,omitempty"`
+	Epoch  int    `json:"epoch,omitempty"`
+	// Records is the shard's distinct on-disk trial count at death time —
+	// the progress measure the quarantine rule compares across crashes.
+	Records int `json:"records"`
+}
+
+// journal is the in-memory view plus the durable appender.
+type journal struct {
+	wal     *durable.WAL // nil when running degraded (in-memory only)
+	log     io.Writer
+	history map[string][]crashEntry // attributed entries, by shard, in order
+	total   int                     // all entries ever seen (incl. unattributed)
+}
+
+// openJournal loads the existing crash history (torn tails repaired,
+// corrupt lines skipped) and opens the journal for appending. It never
+// fails: any storage trouble is logged and yields a degraded in-memory
+// journal.
+func openJournal(fsys durable.FS, dir string, logw io.Writer) *journal {
+	j := &journal{log: logw, history: map[string][]crashEntry{}}
+	path := filepath.Join(dir, journalName)
+	if res, err := durable.Scan(fsys, path); err == nil {
+		for _, ln := range res.Lines {
+			var e crashEntry
+			if json.Unmarshal(ln.Payload, &e) != nil {
+				continue
+			}
+			j.remember(e)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(logw, "supervise: crash journal unreadable (%v); starting with empty history\n", err)
+	}
+	wal, info, err := durable.OpenAppend(path, durable.Options{FS: fsys, Sync: durable.SyncAlways, Warn: logw})
+	if err != nil {
+		fmt.Fprintf(logw, "supervise: crash journal unwritable (%v); continuing with in-memory accounting only\n", err)
+		return j
+	}
+	if info.TruncatedBytes > 0 || info.CorruptLines > 0 {
+		fmt.Fprintf(logw, "supervise: crash journal repaired: %d corrupt line(s) skipped, %d torn byte(s) truncated\n",
+			info.CorruptLines, info.TruncatedBytes)
+	}
+	j.wal = wal
+	return j
+}
+
+// remember folds one entry into the in-memory view.
+func (j *journal) remember(e crashEntry) {
+	j.total++
+	if e.Shard != "" {
+		j.history[e.Shard] = append(j.history[e.Shard], e)
+	}
+}
+
+// append records a crash, durably when possible. A failed append
+// degrades the journal (in-memory only) rather than failing the
+// supervisor.
+func (j *journal) append(e crashEntry) {
+	j.remember(e)
+	if j.wal == nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err == nil {
+		err = j.wal.Append(data)
+	}
+	if err != nil {
+		fmt.Fprintf(j.log, "supervise: crash journal append failed (%v); continuing with in-memory accounting only\n", err)
+		_ = j.wal.Close()
+		j.wal = nil
+	}
+}
+
+// noProgressStreak reports how many consecutive trailing crashes of a
+// shard died at the same record count as the latest one. Record counts
+// are monotone nondecreasing across epochs (each claimant inherits the
+// prior epochs' WALs), so an unchanged count means the claimant added
+// nothing before dying — the poison-shard signature. Healthy shards hit
+// by chaos kills advance their counts and keep the streak at 1.
+func (j *journal) noProgressStreak(shard string) int {
+	h := j.history[shard]
+	if len(h) == 0 {
+		return 0
+	}
+	last := h[len(h)-1].Records
+	n := 0
+	for i := len(h) - 1; i >= 0 && h[i].Records == last; i-- {
+		n++
+	}
+	return n
+}
+
+// close releases the WAL (nil-safe, degraded-safe).
+func (j *journal) close() {
+	if j.wal != nil {
+		_ = j.wal.Close()
+		j.wal = nil
+	}
+}

@@ -1,0 +1,438 @@
+// Package supervise is the self-healing layer above a campaign fleet:
+// it spawns N worker subprocesses over a fleet directory, watches them
+// die, and restarts them — with full-jitter exponential backoff so a
+// crash loop never becomes a fork bomb — until the fleet converges.
+//
+// Its second job is knowing when NOT to restart. A poison shard (a
+// trial that deterministically kills whatever process executes it)
+// would otherwise crash the fleet forever: claim, die, steal, die.
+// The supervisor attributes every death to the shard lease the dead
+// worker held, journals it durably (see journal.go), and when a shard
+// racks up CrashBudget consecutive deaths with no new records on disk
+// it writes the shard's quarantine marker (fleet.Quarantine). Workers
+// then route around the shard and the fleet converges with bounded,
+// explicitly-reported coverage loss — the process-level twin of the
+// storage layer's degrade-don't-die posture toward uncorrectable ECC.
+//
+// The crash-budget rule is sound because shard record counts are
+// monotone: every epoch inherits its predecessors' WAL records, so a
+// dead claimant either advanced the count (healthy shard, unlucky kill
+// — streak resets) or didn't (poison). A poison shard with S trials is
+// quarantined after at most S + CrashBudget claimant deaths, which
+// bounds total supervisor restarts.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Options tunes one supervisor run.
+type Options struct {
+	// Dir is the fleet directory (must hold a manifest).
+	Dir string
+	// Workers is the number of worker slots (default 2).
+	Workers int
+	// Command builds the subprocess for a slot (required). name is the
+	// slot's stable worker name; the command MUST pass it to the worker
+	// as its lease identity — crash attribution matches lease owners
+	// against slot names. The returned cmd must not be started.
+	Command func(slot int, name string) (*exec.Cmd, error)
+	// NamePrefix prefixes slot worker names: "<prefix>-<slot>"
+	// (default "sup<pid>").
+	NamePrefix string
+	// CrashBudget quarantines a shard after this many consecutive
+	// claimant deaths with no record progress (default 3).
+	CrashBudget int
+	// BackoffBase and BackoffMax bound the full-jitter restart delay:
+	// uniform in [0, min(BackoffBase<<crashes, BackoffMax)]
+	// (defaults 150ms, 5s).
+	BackoffBase, BackoffMax time.Duration
+	// MaxRestarts aborts the run after this many total restarts — the
+	// backstop against a supervisor bug turning into an infinite loop
+	// (default 100).
+	MaxRestarts int
+	// StallTTL, when > 0, SIGKILLs a worker whose newest lease heartbeat
+	// is older than this (a SIGSTOPped or livelocked worker never exits
+	// on its own; peers steal its shard, but the process itself must be
+	// reaped). Default 0: disabled.
+	StallTTL time.Duration
+	// Poll is the fleet-status polling interval (default 500ms).
+	Poll time.Duration
+	// Seed pins the backoff jitter (default 1).
+	Seed uint64
+	// FS overrides the filesystem for the crash journal and quarantine
+	// markers (nil = real). Worker subprocesses always see the real one.
+	FS durable.FS
+	// Log receives supervision events (nil = stderr).
+	Log io.Writer
+	// Metrics selects the telemetry registry (nil = telemetry.Default()).
+	Metrics *telemetry.Registry
+	// OnSpawn/OnExit observe worker lifecycle (chaos injectors hook
+	// these to track the victim PID pool). Called from the supervisor
+	// goroutine; keep them fast.
+	OnSpawn func(slot, pid int)
+	OnExit  func(slot, pid int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.NamePrefix == "" {
+		o.NamePrefix = fmt.Sprintf("sup%d", os.Getpid())
+	}
+	if o.CrashBudget <= 0 {
+		o.CrashBudget = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 150 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 100
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Log == nil {
+		o.Log = os.Stderr
+	}
+	if o.Metrics == nil {
+		o.Metrics = telemetry.Default()
+	}
+	return o
+}
+
+// Report summarizes one supervisor run.
+type Report struct {
+	// Restarts counts worker respawns after crashes; CleanExits counts
+	// workers that exited 0; StallKills counts workers reaped for
+	// heartbeat staleness.
+	Restarts, CleanExits, StallKills int
+	// Quarantined lists shards this run quarantined.
+	Quarantined []string
+	// Converged reports that every shard ended done or quarantined.
+	Converged bool
+}
+
+// slotName is the stable worker identity for a slot — stable across
+// restarts, so every death of the slot's lineage attributes to the
+// same lease owner string.
+func slotName(prefix string, slot int) string {
+	return fmt.Sprintf("%s-%d", prefix, slot)
+}
+
+// backoffDelay is the full-jitter restart delay for a slot's n-th
+// crash: uniform in [0, min(base<<n, max)), deterministic in
+// (seed, slot, n). Full jitter (not equal jitter) because the fleet's
+// own lease protocol tolerates slow restarts fine, and decorrelating
+// the slots is worth more than a guaranteed floor.
+func backoffDelay(seed uint64, slot, crash int, base, max time.Duration) time.Duration {
+	ceil := max
+	if shift := min(crash, 20); base<<shift < max && base<<shift > 0 {
+		ceil = base << shift
+	}
+	src := stats.NewSource(seed).Fork(uint64(slot)<<32 | uint64(uint32(crash)))
+	return time.Duration(src.Float64() * float64(ceil))
+}
+
+// exitDesc renders a Wait error as a stable one-line description.
+func exitDesc(err error) string {
+	if err == nil {
+		return "exit 0"
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+			return "signal " + ws.Signal().String()
+		}
+		return fmt.Sprintf("exit %d", ee.ExitCode())
+	}
+	return err.Error()
+}
+
+// exitEvent is a worker death (or clean exit) delivered to the
+// supervisor loop by the per-worker reaper goroutine.
+type exitEvent struct {
+	slot int
+	pid  int
+	err  error
+}
+
+// slotState tracks one worker slot inside the loop.
+type slotState struct {
+	cmd     *exec.Cmd
+	pid     int
+	running bool
+	done    bool // exited cleanly; no respawn
+	pending *time.Timer
+	crashes int // consecutive crashes (backoff exponent)
+}
+
+// Run supervises a worker fleet until it converges (every shard done or
+// quarantined), every slot exits cleanly, ctx ends, or the restart
+// budget is exhausted. The returned Report is non-nil even on error.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if opt.Command == nil {
+		return &Report{}, errors.New("supervise: Options.Command is required")
+	}
+	if _, err := fleet.LoadManifest(opt.FS, opt.Dir); err != nil {
+		return &Report{}, err
+	}
+	logw := opt.Log
+	reg := opt.Metrics
+	restartsMet := reg.Counter("supervise.restarts")
+	quarMet := reg.Counter("supervise.quarantined")
+	liveMet := reg.Gauge("supervise.workers.live")
+	backoffMet := reg.Histogram("supervise.backoff_ms")
+
+	j := openJournal(opt.FS, opt.Dir, logw)
+	defer j.close()
+
+	rep := &Report{}
+	slots := make([]*slotState, opt.Workers)
+	exits := make(chan exitEvent, opt.Workers)
+	respawn := make(chan int, opt.Workers)
+	live := 0
+
+	spawn := func(slot int) error {
+		name := slotName(opt.NamePrefix, slot)
+		cmd, err := opt.Command(slot, name)
+		if err != nil {
+			return fmt.Errorf("supervise: build command for slot %d: %w", slot, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("supervise: start slot %d: %w", slot, err)
+		}
+		st := slots[slot]
+		st.cmd, st.pid, st.running = cmd, cmd.Process.Pid, true
+		live++
+		liveMet.Set(float64(live))
+		fmt.Fprintf(logw, "supervise: slot %d (%s) up as pid %d\n", slot, name, st.pid)
+		if opt.OnSpawn != nil {
+			opt.OnSpawn(slot, st.pid)
+		}
+		go func(pid int) {
+			exits <- exitEvent{slot: slot, pid: pid, err: cmd.Wait()}
+		}(st.pid)
+		return nil
+	}
+
+	killAll := func() {
+		for _, st := range slots {
+			if st.running && st.cmd.Process != nil {
+				_ = st.cmd.Process.Kill() // SIGKILL reaps even SIGSTOPped workers
+			}
+			if st.pending != nil {
+				st.pending.Stop()
+				st.pending = nil
+			}
+		}
+		// Reap outstanding exits so no goroutine leaks past return.
+		for live > 0 {
+			ev := <-exits
+			st := slots[ev.slot]
+			st.running = false
+			live--
+			if opt.OnExit != nil {
+				opt.OnExit(ev.slot, ev.pid)
+			}
+		}
+		liveMet.Set(0)
+	}
+
+	// attribute journals a crash against the shard lease(s) the dead
+	// worker held and returns any shard that exhausted its budget.
+	attribute := func(ev exitEvent, desc string) {
+		name := slotName(opt.NamePrefix, ev.slot)
+		_, statuses, err := fleet.Status(opt.FS, opt.Dir)
+		if err != nil {
+			fmt.Fprintf(logw, "supervise: cannot attribute crash of %s (%v); journaling unattributed\n", name, err)
+			j.append(crashEntry{AtMillis: time.Now().UnixMilli(), Slot: ev.slot, Worker: name, PID: ev.pid, Exit: desc})
+			return
+		}
+		attributed := false
+		for _, st := range statuses {
+			if st.Owner != name || st.Epoch == 0 ||
+				st.State == fleet.StateComplete || st.State == fleet.StateQuarantined {
+				continue
+			}
+			attributed = true
+			j.append(crashEntry{
+				AtMillis: time.Now().UnixMilli(),
+				Slot:     ev.slot, Worker: name, PID: ev.pid, Exit: desc,
+				Shard: st.Shard.ID, Config: st.Shard.Config, Epoch: st.Epoch,
+				Records: st.Records,
+			})
+			streak := j.noProgressStreak(st.Shard.ID)
+			fmt.Fprintf(logw, "supervise: crash attributed to shard %s (%s): %d record(s), no-progress streak %d/%d\n",
+				st.Shard.ID, st.Shard.Config, st.Records, streak, opt.CrashBudget)
+			if streak < opt.CrashBudget {
+				continue
+			}
+			wrote, qerr := fleet.Quarantine(opt.FS, opt.Dir, fleet.QuarantineRecord{
+				Shard: st.Shard.ID, Config: st.Shard.Config,
+				Crashes: streak, Records: st.Records,
+				Reason: fmt.Sprintf("%d consecutive claimant deaths at %d record(s); last: %s by %s",
+					streak, st.Records, desc, name),
+				By:       opt.NamePrefix,
+				AtMillis: time.Now().UnixMilli(),
+			})
+			if qerr != nil {
+				fmt.Fprintf(logw, "supervise: quarantine %s failed (%v); will retry on next crash\n", st.Shard.ID, qerr)
+				continue
+			}
+			if wrote {
+				rep.Quarantined = append(rep.Quarantined, st.Shard.ID)
+				quarMet.Inc()
+				fmt.Fprintf(logw, "supervise: QUARANTINED shard %s (%s) after %d no-progress crash(es); fleet will route around it\n",
+					st.Shard.ID, st.Shard.Config, streak)
+			}
+		}
+		if !attributed {
+			j.append(crashEntry{AtMillis: time.Now().UnixMilli(), Slot: ev.slot, Worker: name, PID: ev.pid, Exit: desc})
+		}
+	}
+
+	converged := func() bool {
+		_, statuses, err := fleet.Status(opt.FS, opt.Dir)
+		if err != nil {
+			return false
+		}
+		for _, st := range statuses {
+			if st.State != fleet.StateComplete && st.State != fleet.StateQuarantined {
+				return false
+			}
+		}
+		return true
+	}
+
+	// stallKill reaps workers whose lease heartbeats went stale past
+	// StallTTL (SIGSTOPped or wedged processes: peers steal the shard,
+	// the supervisor reclaims the slot).
+	stallKill := func() {
+		if opt.StallTTL <= 0 {
+			return
+		}
+		_, statuses, err := fleet.Status(opt.FS, opt.Dir)
+		if err != nil {
+			return
+		}
+		for _, st := range statuses {
+			if st.State == fleet.StateComplete || st.State == fleet.StateQuarantined ||
+				st.Owner == "" || st.HBAge <= opt.StallTTL {
+				continue
+			}
+			for slot, ss := range slots {
+				if ss.running && st.Owner == slotName(opt.NamePrefix, slot) {
+					fmt.Fprintf(logw, "supervise: slot %d (%s) stalled on %s (heartbeat %v old); killing pid %d\n",
+						slot, st.Owner, st.Shard.ID, st.HBAge.Round(time.Millisecond), ss.pid)
+					_ = syscall.Kill(ss.pid, syscall.SIGKILL)
+					rep.StallKills++
+				}
+			}
+		}
+	}
+
+	for i := range slots {
+		slots[i] = &slotState{}
+	}
+	for i := range slots {
+		if err := spawn(i); err != nil {
+			killAll()
+			return rep, err
+		}
+	}
+
+	ticker := time.NewTicker(opt.Poll)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(logw, "supervise: context ended; killing %d live worker(s)\n", live)
+			killAll()
+			return rep, ctx.Err()
+
+		case slot := <-respawn:
+			st := slots[slot]
+			st.pending = nil
+			if st.done {
+				continue
+			}
+			if err := spawn(slot); err != nil {
+				killAll()
+				return rep, err
+			}
+
+		case ev := <-exits:
+			st := slots[ev.slot]
+			st.running = false
+			live--
+			liveMet.Set(float64(live))
+			if opt.OnExit != nil {
+				opt.OnExit(ev.slot, ev.pid)
+			}
+			if ev.err == nil {
+				st.done = true
+				rep.CleanExits++
+				fmt.Fprintf(logw, "supervise: slot %d exited cleanly\n", ev.slot)
+				allDone := true
+				for _, ss := range slots {
+					if !ss.done {
+						allDone = false
+						break
+					}
+				}
+				if allDone {
+					rep.Converged = converged()
+					return rep, nil
+				}
+				continue
+			}
+			desc := exitDesc(ev.err)
+			fmt.Fprintf(logw, "supervise: slot %d (pid %d) died: %s\n", ev.slot, ev.pid, desc)
+			attribute(ev, desc)
+			if rep.Restarts >= opt.MaxRestarts {
+				killAll()
+				return rep, fmt.Errorf("supervise: restart budget exhausted (%d); fleet is not converging", opt.MaxRestarts)
+			}
+			st.crashes++
+			rep.Restarts++
+			restartsMet.Inc()
+			delay := backoffDelay(opt.Seed, ev.slot, st.crashes, opt.BackoffBase, opt.BackoffMax)
+			backoffMet.Observe(delay.Milliseconds())
+			fmt.Fprintf(logw, "supervise: slot %d restarting in %v (crash %d)\n",
+				ev.slot, delay.Round(time.Millisecond), st.crashes)
+			slot := ev.slot
+			st.pending = time.AfterFunc(delay, func() { respawn <- slot })
+
+		case <-ticker.C:
+			stallKill()
+			if converged() {
+				fmt.Fprintf(logw, "supervise: fleet converged; reaping %d lingering worker(s)\n", live)
+				killAll()
+				rep.Converged = true
+				return rep, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package supervise
+
+// The headline robustness test of the supervision layer: a fleet with
+// one injected poison shard plus a seed-pinned SIGKILL schedule must
+// complete WITHOUT human intervention — the poison shard quarantined
+// within its crash budget, every healthy shard merged bit-identical to
+// a clean single-process run, and no lease left held.
+//
+// Worker subprocesses are this test binary re-executed (TestMain sees
+// SUP_WORKER_DIR and becomes a worker); poison cells arrive via
+// SUP_WORKER_POISON exactly as campaignd supervise passes them.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("SUP_WORKER_DIR"); dir != "" {
+		os.Exit(supWorkerMain(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// detRun mirrors the deterministic synthetic trial the fleet tests use:
+// a pure function of the trial seed.
+func detRun(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+	src := stats.NewSource(t.Seed)
+	return campaign.Sample{
+		Value: src.Gaussian(1, 0.25),
+		Extra: map[string]float64{"faults": float64(src.Intn(100))},
+	}, nil
+}
+
+// supWorkerMain is the subprocess body: one WaitForAll worker, with the
+// poison hook and per-trial sleep the environment dictates.
+func supWorkerMain(dir string) int {
+	sleepMS, _ := strconv.Atoi(os.Getenv("SUP_WORKER_SLEEP_MS"))
+	run := func(ctx context.Context, tr campaign.Trial) (campaign.Sample, error) {
+		if sleepMS > 0 {
+			select {
+			case <-time.After(time.Duration(sleepMS) * time.Millisecond):
+			case <-ctx.Done():
+				return campaign.Sample{}, ctx.Err()
+			}
+		}
+		return detRun(ctx, tr)
+	}
+	cells, err := chaos.ParseCells(os.Getenv("SUP_WORKER_POISON"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supervise worker subprocess:", err)
+		return 1
+	}
+	_, err = fleet.Work(context.Background(), fleet.WorkerOptions{
+		Dir:          dir,
+		Name:         os.Getenv("SUP_WORKER_NAME"),
+		Run:          run,
+		Workers:      1,
+		TTL:          2 * time.Second,
+		Heartbeat:    100 * time.Millisecond,
+		WaitForAll:   true,
+		OnTrialStart: chaos.PoisonHook(cells, nil),
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supervise worker subprocess:", err)
+		return 1
+	}
+	return 0
+}
+
+// workerCommand builds the re-exec Command closure for Options.Command.
+func workerCommand(dir, poison string, sleepMS int) func(slot int, name string) (*exec.Cmd, error) {
+	return func(slot int, name string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"SUP_WORKER_DIR="+dir,
+			"SUP_WORKER_NAME="+name,
+			"SUP_WORKER_POISON="+poison,
+			"SUP_WORKER_SLEEP_MS="+strconv.Itoa(sleepMS),
+		)
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+func planFleet(t *testing.T, spec fleet.PlanSpec) (*fleet.Manifest, string) {
+	t.Helper()
+	if spec.Dir == "" {
+		spec.Dir = filepath.Join(t.TempDir(), "fleet")
+	}
+	m, err := fleet.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, spec.Dir
+}
+
+func reference(t *testing.T, m *fleet.Manifest) *campaign.Result {
+	t.Helper()
+	c, err := campaign.New(m.Configs, detRun, campaign.Options{
+		Seed: m.Seed, MaxTrials: m.MaxTrials, Workers: 4, Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHealthyFleetConvergesWithoutRestarts: the no-fault baseline — the
+// supervisor spawns workers, they drain the fleet, everyone exits
+// cleanly, zero restarts.
+func TestHealthyFleetConvergesWithoutRestarts(t *testing.T) {
+	m, dir := planFleet(t, fleet.PlanSpec{
+		Seed: 5, Configs: []string{"a", "b"}, MaxTrials: 6, ShardSize: 3,
+	})
+	reg := telemetry.NewRegistry()
+	rep, err := Run(context.Background(), Options{
+		Dir: dir, Workers: 2, Command: workerCommand(dir, "", 0),
+		NamePrefix: "hb", Poll: 100 * time.Millisecond, Metrics: reg, Log: os.Stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Restarts != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	mrep, err := fleet.Merge(fleet.MergeOptions{Dir: dir, Log: os.Stderr, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAggregates(t, reference(t, m), mrep.Result)
+	if mrep.Result.Degraded {
+		t.Fatal("healthy fleet flagged Degraded")
+	}
+}
+
+// TestPoisonShardQuarantinedUnderChaos: the headline. One poison trial
+// cell, chaos SIGKILLs on top, real subprocess workers. The run must
+// converge unattended: poison shard quarantined within the crash
+// budget, healthy configs bit-identical to the clean single-process
+// reference, salvaged poison records folded, zero leaked leases.
+func TestPoisonShardQuarantinedUnderChaos(t *testing.T) {
+	m, dir := planFleet(t, fleet.PlanSpec{
+		Seed: 77, Configs: []string{"alpha", "beta", "poison"}, MaxTrials: 6, ShardSize: 3,
+	})
+	// Shards: s0000/s0001 alpha, s0002/s0003 beta, s0004 poison[0,3),
+	// s0005 poison[3,6). Cell poison:4 lands in s0005: its claimants
+	// salvage trial 3, die at 4, and never progress — the quarantine
+	// signature.
+	const poisonCells = "poison:4"
+	ref := reference(t, m)
+	reg := telemetry.NewRegistry()
+
+	sched := chaos.NewSchedule(chaos.ScheduleOptions{
+		Seed: 77, Events: 4, MeanGap: 600 * time.Millisecond,
+	})
+	inj := chaos.NewInjector(sched, reg, os.Stderr)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	injDone := make(chan struct{})
+	go func() { inj.Run(ctx); close(injDone) }()
+
+	rep, err := Run(ctx, Options{
+		Dir: dir, Workers: 3,
+		Command:     workerCommand(dir, poisonCells, 50),
+		NamePrefix:  "chaos",
+		CrashBudget: 3,
+		BackoffBase: 50 * time.Millisecond, BackoffMax: 500 * time.Millisecond,
+		Poll: 150 * time.Millisecond, Seed: 77,
+		Metrics: reg, Log: os.Stderr,
+		OnSpawn: func(_, pid int) { inj.Track(pid) },
+		OnExit:  func(_, pid int) { inj.Forget(pid) },
+	})
+	cancel()
+	<-injDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("fleet did not converge: %+v", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "s0005" {
+		t.Fatalf("quarantined = %v, want [s0005]", rep.Quarantined)
+	}
+	if rep.Restarts < 3 {
+		t.Fatalf("restarts = %d; the poison shard alone needs >= CrashBudget", rep.Restarts)
+	}
+	if rep.Restarts > 50 {
+		t.Fatalf("restarts = %d; supervision did not bound the crash loop", rep.Restarts)
+	}
+	if v := reg.Counter("supervise.quarantined").Value(); v != 1 {
+		t.Fatalf("supervise.quarantined = %d", v)
+	}
+	if v := reg.Counter("supervise.restarts").Value(); v != int64(rep.Restarts) {
+		t.Fatalf("supervise.restarts = %d, report says %d", v, rep.Restarts)
+	}
+
+	// Zero leaked leases: every shard ended done or quarantined, and
+	// the quarantine verdict survives in the marker.
+	_, statuses, err := fleet.Status(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range statuses {
+		switch st.Shard.ID {
+		case "s0005":
+			if st.State != fleet.StateQuarantined || st.Quarantine == nil || st.Quarantine.Crashes < 3 {
+				t.Fatalf("s0005 status = %+v", st)
+			}
+		default:
+			if st.State != fleet.StateComplete {
+				t.Fatalf("shard %s state = %q, want complete", st.Shard.ID, st.State)
+			}
+		}
+	}
+
+	// The merge: no AllowPartial needed, Degraded flagged, healthy
+	// configs bit-identical to the clean reference, salvaged poison
+	// records folded (trials 0-3: all of s0004 plus s0005's trial 3).
+	mrep, err := fleet.Merge(fleet.MergeOptions{Dir: dir, Log: os.Stderr, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mrep.Result.Degraded {
+		t.Fatal("merged result not Degraded")
+	}
+	if len(mrep.Quarantined) != 1 || mrep.Quarantined[0] != "s0005" {
+		t.Fatalf("merge quarantined = %v", mrep.Quarantined)
+	}
+	byConfig := map[string]campaign.ConfigResult{}
+	for _, cr := range mrep.Result.Configs {
+		byConfig[cr.Config] = cr
+	}
+	refByConfig := map[string]campaign.ConfigResult{}
+	for _, cr := range ref.Configs {
+		refByConfig[cr.Config] = cr
+	}
+	for _, cfg := range []string{"alpha", "beta"} {
+		a, b := refByConfig[cfg], byConfig[cfg]
+		if a.N != b.N || a.Mean != b.Mean || a.Std != b.Std || a.CIHalf != b.CIHalf ||
+			a.Min != b.Min || a.Max != b.Max {
+			t.Fatalf("config %s not bit-identical to reference:\n  %+v\nvs\n  %+v", cfg, a, b)
+		}
+	}
+	// Salvage: all 3 records of the completed s0004 always fold; s0005's
+	// trial 3 may or may not have hit the WAL before the poison death
+	// (the append races the kill), but trials 4-5 never ran.
+	if n := byConfig["poison"].N; n < 3 || n > 4 {
+		t.Fatalf("poison config folded %d trial(s), want 3-4 salvaged", n)
+	}
+
+	// The crash journal is durable history: a fresh journal view must
+	// still know the no-progress streak that justified the verdict.
+	j := openJournal(nil, dir, os.Stderr)
+	defer j.close()
+	if s := j.noProgressStreak("s0005"); s < 3 {
+		t.Fatalf("reloaded journal streak = %d, want >= 3", s)
+	}
+}
+
+// sameAggregates is the fleet tests' bit-exact comparison, local copy.
+func sameAggregates(t *testing.T, a, b *campaign.Result) {
+	t.Helper()
+	if len(a.Configs) != len(b.Configs) {
+		t.Fatalf("config count %d vs %d", len(a.Configs), len(b.Configs))
+	}
+	for i := range a.Configs {
+		x, y := a.Configs[i], b.Configs[i]
+		if x.Config != y.Config || x.N != y.N || x.Mean != y.Mean || x.Std != y.Std ||
+			x.CIHalf != y.CIHalf || x.Min != y.Min || x.Max != y.Max {
+			t.Fatalf("aggregate mismatch for %q:\n  %+v\nvs\n  %+v", x.Config, x, y)
+		}
+	}
+}
+
+// TestBackoffDelayEnvelope: full jitter — deterministic per
+// (seed, slot, crash), inside [0, min(base<<crash, max)), and slots
+// decorrelated.
+func TestBackoffDelayEnvelope(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	for crash := 1; crash <= 12; crash++ {
+		ceil := max
+		if c := base << min(crash, 20); c < max && c > 0 {
+			ceil = c
+		}
+		d := backoffDelay(9, 1, crash, base, max)
+		if d != backoffDelay(9, 1, crash, base, max) {
+			t.Fatal("backoff not deterministic")
+		}
+		if d < 0 || d >= ceil {
+			t.Fatalf("crash %d: delay %v outside [0, %v)", crash, d, ceil)
+		}
+	}
+	if backoffDelay(9, 0, 5, base, max) == backoffDelay(9, 1, 5, base, max) {
+		t.Fatal("slots share a jitter stream")
+	}
+	// Overflow safety: absurd crash counts still respect the cap.
+	if d := backoffDelay(9, 2, 5000, base, max); d < 0 || d >= max {
+		t.Fatalf("huge crash count: delay %v", d)
+	}
+}
+
+// TestJournalReloadStreakAndRepair: entries survive reopen, the
+// no-progress streak resets on progress, and a torn tail is repaired
+// rather than fatal.
+func TestJournalReloadStreakAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(nil, dir, os.Stderr)
+	e := crashEntry{Slot: 0, Worker: "w-0", PID: 1234, Exit: "signal killed", Shard: "sX", Records: 2}
+	j.append(e)
+	j.append(e)
+	e.Records = 5 // progress: streak must reset
+	j.append(e)
+	j.append(crashEntry{Slot: 1, Worker: "w-1", PID: 99, Exit: "exit 1"}) // unattributed
+	if s := j.noProgressStreak("sX"); s != 1 {
+		t.Fatalf("streak after progress = %d, want 1", s)
+	}
+	j.append(e)
+	if s := j.noProgressStreak("sX"); s != 2 {
+		t.Fatalf("streak = %d, want 2", s)
+	}
+	if j.total != 5 {
+		t.Fatalf("total = %d", j.total)
+	}
+	j.close()
+
+	// Tear the tail (a supervisor killed mid-append) and reload.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("v2 0bad"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openJournal(nil, dir, os.Stderr)
+	defer j2.close()
+	if s := j2.noProgressStreak("sX"); s != 2 {
+		t.Fatalf("reloaded streak = %d, want 2", s)
+	}
+	if s := j2.noProgressStreak("unknown"); s != 0 {
+		t.Fatalf("unknown shard streak = %d", s)
+	}
+	if j2.total != 5 {
+		t.Fatalf("reloaded total = %d", j2.total)
+	}
+}
+
+// TestJournalDegradesOnUnwritableDir: a journal that cannot persist
+// still accounts in memory — the supervisor must outlive its ledger.
+func TestJournalDegradesOnUnwritableDir(t *testing.T) {
+	j := openJournal(nil, filepath.Join(t.TempDir(), "absent", "deeper"), os.Stderr)
+	defer j.close()
+	if j.wal != nil {
+		t.Fatal("journal opened a WAL in a nonexistent directory")
+	}
+	j.append(crashEntry{Shard: "sY", Records: 1})
+	j.append(crashEntry{Shard: "sY", Records: 1})
+	if s := j.noProgressStreak("sY"); s != 2 {
+		t.Fatalf("degraded streak = %d", s)
+	}
+}
+
+// TestRunValidation: a missing Command or manifest is an error, not a
+// hang.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Dir: t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "Command") {
+		t.Fatalf("nil Command: %v", err)
+	}
+	cmd := func(int, string) (*exec.Cmd, error) { return nil, nil }
+	if _, err := Run(context.Background(), Options{Dir: t.TempDir(), Command: cmd}); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+// TestExitDesc: stable one-line classifications.
+func TestExitDesc(t *testing.T) {
+	if got := exitDesc(nil); got != "exit 0" {
+		t.Fatalf("nil: %q", got)
+	}
+	cmd := exec.Command("/bin/sh", "-c", "exit 3")
+	err := cmd.Run()
+	if got := exitDesc(err); got != "exit 3" {
+		t.Fatalf("exit 3: %q", got)
+	}
+	cmd = exec.Command("/bin/sleep", "10")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Process.Kill()
+	if got := exitDesc(cmd.Wait()); !strings.Contains(got, "signal") {
+		t.Fatalf("SIGKILL: %q", got)
+	}
+}
