@@ -419,6 +419,9 @@ func TestStatusStates(t *testing.T) {
 	if sts[0].State != StateLeased || sts[0].Owner != "me" || sts[0].Epoch != 1 {
 		t.Fatalf("status = %+v, want leased by me", sts[0])
 	}
+	if sts[0].HolderDead {
+		t.Fatal("live flock holder reported HolderDead")
+	}
 	l.release()
 
 	// An expired lease (held long ago, tiny TTL) with no flock shows
@@ -435,6 +438,12 @@ func TestStatusStates(t *testing.T) {
 	}
 	if sts[0].State != StateStale {
 		t.Fatalf("state = %q, want stale", sts[0].State)
+	}
+	// The holder released its flock with its life; the probe must say so
+	// (this is what stops a supervisor stall-killing a same-named
+	// successor process over a lease its predecessor abandoned).
+	if !sts[0].HolderDead {
+		t.Fatal("released flock not reported HolderDead")
 	}
 
 	if err := writeDone(fsys, dir, sh, 2, "old", 4); err != nil {

@@ -201,6 +201,12 @@ type ShardStatus struct {
 	Owner string
 	// HBAge is the age of the newest heartbeat (0 when free/unknown).
 	HBAge time.Duration
+	// HolderDead reports that the newest epoch's flock probe succeeded:
+	// the kernel released the holder's lock with its process, so
+	// whatever wrote the newest heartbeat no longer exists. Only
+	// meaningful for leased/stale states (always false when free,
+	// complete, or quarantined).
+	HolderDead bool
 	// Records counts distinct trials already on disk across all epochs.
 	Records int
 	// Quarantine carries the quarantine record when State is
@@ -246,6 +252,9 @@ func Status(fsys durable.FS, dir string) (*Manifest, []ShardStatus, error) {
 		} else if q != nil {
 			st.State = StateQuarantined
 			st.Quarantine = q
+		}
+		if top > 0 && (st.State == StateLeased || st.State == StateStale) {
+			st.HolderDead = probeDead(fsys, leasePath(dir, sh.ID, top))
 		}
 		seen := map[int]bool{}
 		for e := 1; e <= top; e++ {

@@ -13,16 +13,19 @@ package fleet
 // the same degrade-don't-die posture the storage layer takes toward
 // uncorrectable ECC blocks.
 //
-// The marker is an atomically-written JSON file beside the shard's
-// leases (<shard>.quarantined). Like done markers it is immutable
-// execution history: the first writer wins and the file is never
-// deleted by the fleet. Lifting a quarantine (after fixing the trial
-// function) is an explicit human act: remove the marker file and
+// The marker is an O_EXCL-created JSON file beside the shard's leases
+// (<shard>.quarantined). Like epoch leases it is immutable execution
+// history: the filesystem picks exactly one first writer among racing
+// supervisors (a lost race is reported, not an error) and the file is
+// never deleted by the fleet. Lifting a quarantine (after fixing the
+// trial function) is an explicit human act: remove the marker file and
 // re-run workers.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"repro/internal/durable"
@@ -52,27 +55,53 @@ type QuarantineRecord struct {
 	AtMillis int64 `json:"at_ms,omitempty"`
 }
 
-// Quarantine atomically writes a shard's quarantine marker. A marker
-// that already exists is left untouched (first writer wins — two
-// supervisors reaching the same verdict is not a conflict) and
-// reported via the bool.
+// Quarantine writes a shard's quarantine marker with O_EXCL semantics:
+// among racing supervisors the filesystem picks exactly one writer,
+// which sees wrote=true; everyone else finds the marker already exists
+// and gets wrote=false (first writer wins — two supervisors reaching
+// the same verdict is not a conflict). A check-then-write would let
+// both racers report wrote=true and double-count the verdict. A marker
+// torn by a crash mid-write is removed on a failed write and fails
+// safe otherwise (see ReadQuarantine).
 func Quarantine(fsys durable.FS, dir string, rec QuarantineRecord) (wrote bool, err error) {
 	if rec.Shard == "" {
 		return false, fmt.Errorf("fleet: quarantine: empty shard ID")
-	}
-	fsys = orFS(fsys)
-	path := quarantinePath(dir, rec.Shard)
-	if ok, err := exists(fsys, path); err != nil {
-		return false, err
-	} else if ok {
-		return false, nil
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return false, err
 	}
-	if err := durable.WriteFileAtomic(fsys, path, append(data, '\n'), 0o644); err != nil {
+	fsys = orFS(fsys)
+	path := quarantinePath(dir, rec.Shard)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return false, nil
+		}
 		return false, fmt.Errorf("fleet: quarantine %s: %w", rec.Shard, err)
+	}
+	fail := func(op string, ferr error) (bool, error) {
+		f.Close()
+		fsys.Remove(path)
+		return false, fmt.Errorf("fleet: quarantine %s: %s: %w", rec.Shard, op, ferr)
+	}
+	line := append(data, '\n')
+	if n, werr := f.Write(line); werr != nil {
+		return fail("write", werr)
+	} else if n < len(line) {
+		return fail("write", fmt.Errorf("short write (%d of %d bytes)", n, len(line)))
+	}
+	if serr := f.Sync(); serr != nil {
+		return fail("sync", serr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		fsys.Remove(path)
+		return false, fmt.Errorf("fleet: quarantine %s: close: %w", rec.Shard, cerr)
+	}
+	if derr := fsys.SyncDir(dir); derr != nil {
+		// The marker is complete and visible; the verdict stands (and
+		// fails safe across a power cut at worst as a torn marker).
+		return true, fmt.Errorf("fleet: quarantine %s: sync dir: %w", rec.Shard, derr)
 	}
 	return true, nil
 }

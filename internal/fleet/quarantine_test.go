@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -42,6 +45,44 @@ func TestQuarantineFirstWriterWins(t *testing.T) {
 	}
 	if _, err := Quarantine(nil, dir, QuarantineRecord{}); err == nil {
 		t.Fatal("empty shard ID accepted")
+	}
+}
+
+// TestQuarantineRaceSingleWriter: supervisors racing to the same
+// verdict must elect exactly one writer. A check-then-write TOCTOU
+// would let several observe wrote=true, double-counting
+// supervise.quarantined and Report.Quarantined; the O_EXCL create
+// makes the filesystem pick the winner.
+func TestQuarantineRaceSingleWriter(t *testing.T) {
+	_, dir := planTestFleet(t, PlanSpec{Seed: 3, Configs: []string{"a"}, MaxTrials: 4})
+	const racers = 16
+	var wg sync.WaitGroup
+	var wins atomic.Int32
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			wrote, err := Quarantine(nil, dir, QuarantineRecord{
+				Shard: "s0000", Reason: fmt.Sprintf("racer %d", i)})
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+			}
+			if wrote {
+				wins.Add(1)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d racer(s) observed wrote=true, want exactly 1", wins.Load())
+	}
+	// The surviving marker is one complete racer record, not a blend.
+	rec, err := ReadQuarantine(nil, dir, "s0000")
+	if err != nil || rec == nil || !strings.HasPrefix(rec.Reason, "racer ") {
+		t.Fatalf("marker after race: %+v, %v", rec, err)
 	}
 }
 

@@ -230,4 +230,20 @@ func TestRetryAfterJitterEnvelope(t *testing.T) {
 			t.Fatalf("seed %d: sub-second base gave %q, want floor 1", seed, v)
 		}
 	}
+	// The default 1s base must itself spread: with nearest-integer
+	// rounding every ±25% factor of 1s collapsed back to "1", making
+	// the advertised decorrelation a no-op exactly where it matters
+	// most. Stochastic rounding splits clients across 1s and 2s.
+	oneSec := map[string]bool{}
+	for seed := uint64(0); seed < 256; seed++ {
+		v := retryAfterSeconds(time.Second, seed)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 2 {
+			t.Fatalf("seed %d: 1s base gave %q, want 1 or 2", seed, v)
+		}
+		oneSec[v] = true
+	}
+	if len(oneSec) < 2 {
+		t.Fatalf("256 seeds at the 1s default produced only %v; jitter is still a no-op", oneSec)
+	}
 }

@@ -177,11 +177,24 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, seed uint64, err error)
 // all hit a full queue within the same tick; an identical hint would
 // march them back in lockstep and shed them again — jitter spreads the
 // retry wave. Derived from the seed (not a PRNG) so a replayed request
-// observes the same hint. Floor 1s: the header has whole-second
-// granularity and 0 invites an immediate retry storm.
+// observes the same hint.
+//
+// The header has whole-second granularity, so the jittered value is
+// rounded stochastically: floor, plus one with probability equal to
+// the fraction (coin also seed-derived, so still deterministic).
+// Nearest-integer rounding would collapse the whole ±25% envelope of
+// the default 1s base back onto "1" — every factor in [0.75, 1.25)
+// rounds to 1 — and quietly reinstate the lockstep wave; the
+// stochastic round preserves the mean and splits clients across
+// adjacent whole seconds at any base. Floor 1s: 0 invites an
+// immediate retry storm.
 func retryAfterSeconds(d time.Duration, seed uint64) string {
-	factor := 0.75 + 0.5*stats.NewSource(seed).Fork(0x72657472_79616674).Float64() // "retr yaft"
-	secs := int(time.Duration(float64(d) * factor).Round(time.Second) / time.Second)
+	src := stats.NewSource(seed).Fork(0x72657472_79616674) // "retr yaft"
+	jittered := (0.75 + 0.5*src.Float64()) * d.Seconds()
+	secs := int(jittered)
+	if jittered-float64(secs) > src.Float64() {
+		secs++
+	}
 	if secs < 1 {
 		secs = 1
 	}

@@ -117,23 +117,34 @@ func (j *journal) append(e crashEntry) {
 	}
 }
 
-// noProgressStreak reports how many consecutive trailing crashes of a
-// shard died at the same record count as the latest one. Record counts
-// are monotone nondecreasing across epochs (each claimant inherits the
-// prior epochs' WALs), so an unchanged count means the claimant added
-// nothing before dying — the poison-shard signature. Healthy shards hit
-// by chaos kills advance their counts and keep the streak at 1.
+// noProgressStreak reports how many distinct lease epochs appear in the
+// shard's trailing run of crashes that died at the same record count as
+// the latest one. Record counts are monotone nondecreasing across
+// epochs (each claimant inherits the prior epochs' WALs), so an
+// unchanged count means the claimant added nothing before dying — the
+// poison-shard signature. Healthy shards hit by chaos kills advance
+// their counts and keep the streak at 1.
+//
+// The streak counts distinct EPOCHS, not entries, because attribution
+// matches lease owners by slot name: while a slot crash-loops on a
+// poison shard, every death also re-journals any stale lease a previous
+// incarnation of the slot abandoned on a healthy shard — same epoch,
+// frozen Records, once per crash. Only a fresh claim (a new epoch)
+// dying without progress is evidence of poison; a real claimant death
+// always holds the shard's newest epoch. Deduping by epoch pins the
+// stale-lease echo at one and preserves the invariant that only a true
+// poison pill accumulates the crash budget.
 func (j *journal) noProgressStreak(shard string) int {
 	h := j.history[shard]
 	if len(h) == 0 {
 		return 0
 	}
 	last := h[len(h)-1].Records
-	n := 0
+	epochs := map[int]bool{}
 	for i := len(h) - 1; i >= 0 && h[i].Records == last; i-- {
-		n++
+		epochs[h[i].Epoch] = true
 	}
-	return n
+	return len(epochs)
 }
 
 // close releases the WAL (nil-safe, degraded-safe).

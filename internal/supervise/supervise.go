@@ -17,9 +17,14 @@
 // The crash-budget rule is sound because shard record counts are
 // monotone: every epoch inherits its predecessors' WAL records, so a
 // dead claimant either advanced the count (healthy shard, unlucky kill
-// — streak resets) or didn't (poison). A poison shard with S trials is
-// quarantined after at most S + CrashBudget claimant deaths, which
-// bounds total supervisor restarts.
+// — streak resets) or didn't (poison). The streak counts distinct
+// lease epochs, not journal entries: attribution matches owners by
+// slot name, so a crash-looping slot re-journals any stale lease its
+// previous incarnation abandoned on a healthy shard — same epoch,
+// frozen count — and only a fresh claim dying without progress may
+// advance the budget. A poison shard with S trials is quarantined
+// after at most S + CrashBudget claimant deaths, which bounds total
+// supervisor restarts.
 package supervise
 
 import (
@@ -296,9 +301,14 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 				By:       opt.NamePrefix,
 				AtMillis: time.Now().UnixMilli(),
 			})
-			if qerr != nil {
+			if qerr != nil && !wrote {
 				fmt.Fprintf(logw, "supervise: quarantine %s failed (%v); will retry on next crash\n", st.Shard.ID, qerr)
 				continue
+			}
+			if qerr != nil {
+				// wrote despite the error: the marker is in place (e.g. the
+				// directory sync failed after it) — the verdict counts.
+				fmt.Fprintf(logw, "supervise: quarantine %s wrote with warning: %v\n", st.Shard.ID, qerr)
 			}
 			if wrote {
 				rep.Quarantined = append(rep.Quarantined, st.Shard.ID)
@@ -327,7 +337,13 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 
 	// stallKill reaps workers whose lease heartbeats went stale past
 	// StallTTL (SIGSTOPped or wedged processes: peers steal the shard,
-	// the supervisor reclaims the slot).
+	// the supervisor reclaims the slot). Matching by owner name alone is
+	// not enough: a lease abandoned by the slot's dead previous
+	// incarnation carries the same name, and killing the current healthy
+	// process on that evidence would loop every poll tick. The flock is
+	// the tiebreaker — a stalled-but-alive holder (SIGSTOP, livelock)
+	// still holds it, so only a lease whose flock survives (HolderDead
+	// false) can implicate the slot's live process.
 	stallKill := func() {
 		if opt.StallTTL <= 0 {
 			return
@@ -338,7 +354,7 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		}
 		for _, st := range statuses {
 			if st.State == fleet.StateComplete || st.State == fleet.StateQuarantined ||
-				st.Owner == "" || st.HBAge <= opt.StallTTL {
+				st.Owner == "" || st.HBAge <= opt.StallTTL || st.HolderDead {
 				continue
 			}
 			for slot, ss := range slots {

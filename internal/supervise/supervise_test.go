@@ -324,15 +324,17 @@ func TestBackoffDelayEnvelope(t *testing.T) {
 func TestJournalReloadStreakAndRepair(t *testing.T) {
 	dir := t.TempDir()
 	j := openJournal(nil, dir, os.Stderr)
-	e := crashEntry{Slot: 0, Worker: "w-0", PID: 1234, Exit: "signal killed", Shard: "sX", Records: 2}
+	e := crashEntry{Slot: 0, Worker: "w-0", PID: 1234, Exit: "signal killed", Shard: "sX", Epoch: 1, Records: 2}
 	j.append(e)
+	e.Epoch = 2
 	j.append(e)
-	e.Records = 5 // progress: streak must reset
+	e.Epoch, e.Records = 3, 5 // progress: streak must reset
 	j.append(e)
 	j.append(crashEntry{Slot: 1, Worker: "w-1", PID: 99, Exit: "exit 1"}) // unattributed
 	if s := j.noProgressStreak("sX"); s != 1 {
 		t.Fatalf("streak after progress = %d, want 1", s)
 	}
+	e.Epoch = 4
 	j.append(e)
 	if s := j.noProgressStreak("sX"); s != 2 {
 		t.Fatalf("streak = %d, want 2", s)
@@ -366,6 +368,39 @@ func TestJournalReloadStreakAndRepair(t *testing.T) {
 	}
 }
 
+// TestStreakDedupesStaleLeaseEchoes: the wrongful-quarantine
+// regression. While a slot crash-loops on a poison shard, every death
+// also re-journals any stale lease the slot's previous incarnation
+// abandoned on a healthy shard — same epoch, frozen record count.
+// Those echoes must pin the healthy shard's streak at one: only a
+// fresh claim (a new epoch) dying without progress may advance the
+// crash budget.
+func TestStreakDedupesStaleLeaseEchoes(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(nil, dir, os.Stderr)
+	echo := crashEntry{Slot: 0, Worker: "w-0", PID: 7, Exit: "signal killed", Shard: "sA", Epoch: 2, Records: 7}
+	for i := 0; i < 6; i++ { // one real death + five stale-lease echoes
+		j.append(echo)
+	}
+	if s := j.noProgressStreak("sA"); s != 1 {
+		t.Fatalf("streak after stale-lease echoes = %d, want 1 (healthy shard must never reach the crash budget)", s)
+	}
+	// A fresh claim dying at the same count IS new poison evidence.
+	echo.Epoch = 3
+	j.append(echo)
+	if s := j.noProgressStreak("sA"); s != 2 {
+		t.Fatalf("streak after fresh-epoch death = %d, want 2", s)
+	}
+	j.close()
+
+	// The dedupe must hold over the reloaded durable history too.
+	j2 := openJournal(nil, dir, os.Stderr)
+	defer j2.close()
+	if s := j2.noProgressStreak("sA"); s != 2 {
+		t.Fatalf("reloaded deduped streak = %d, want 2", s)
+	}
+}
+
 // TestJournalDegradesOnUnwritableDir: a journal that cannot persist
 // still accounts in memory — the supervisor must outlive its ledger.
 func TestJournalDegradesOnUnwritableDir(t *testing.T) {
@@ -374,8 +409,8 @@ func TestJournalDegradesOnUnwritableDir(t *testing.T) {
 	if j.wal != nil {
 		t.Fatal("journal opened a WAL in a nonexistent directory")
 	}
-	j.append(crashEntry{Shard: "sY", Records: 1})
-	j.append(crashEntry{Shard: "sY", Records: 1})
+	j.append(crashEntry{Shard: "sY", Epoch: 1, Records: 1})
+	j.append(crashEntry{Shard: "sY", Epoch: 2, Records: 1})
 	if s := j.noProgressStreak("sY"); s != 2 {
 		t.Fatalf("degraded streak = %d", s)
 	}
