@@ -59,7 +59,7 @@ race: vet
 # in tier 1 so a data race cannot land even when the full race tier is
 # skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/... ./internal/supervise/... ./internal/chaos/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/sparse/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/... ./internal/supervise/... ./internal/chaos/...
 
 # The server's own end-to-end smoke: train, serve every endpoint on an
 # ephemeral port, scrape /metrics, drain.
@@ -100,6 +100,7 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzCSRDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -fuzz=FuzzBitMaskDecode -fuzztime=$(FUZZTIME) ./internal/sparse/
+	$(GO) test -fuzz=FuzzDecode24 -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -fuzz=FuzzECCCorrect -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/campaign/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/

@@ -32,6 +32,7 @@ import (
 	"repro/internal/envm"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -131,6 +132,30 @@ func BenchmarkCorruptedTrialThroughputSerial(b *testing.B) {
 	benchTrials(b, benchDenseFaultConfig(), ev.EvalTrialSerial)
 }
 
+func bench24FaultConfig() ares.Config {
+	return ares.IsolateStream(ares.Config{Tech: envm.CTT, Encoding: sparse.Kind24},
+		"values", ares.StreamPolicy{BPC: 3})
+}
+
+// BenchmarkCorruptedTrialThroughput24Direct is the compute-direct 2:4
+// worst case: every trial corrupts the value stream, canonicalizes the
+// compact form, and runs inference through the tensor.Sparse24 kernels —
+// no dense weight matrix is ever materialized. Compare against
+// CorruptedTrialThroughput (CSR decode-to-dense, same replica pool) and
+// the 24Oracle row below for the decode-elimination speedup.
+func BenchmarkCorruptedTrialThroughput24Direct(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, bench24FaultConfig(), ev.EvalTrial)
+}
+
+// BenchmarkCorruptedTrialThroughput24Oracle is the decode-to-dense
+// reference route for the same 2:4 workload (EvalTrialSerial): corrupted
+// streams decode to a dense index matrix and run the dense kernels.
+func BenchmarkCorruptedTrialThroughput24Oracle(b *testing.B) {
+	ev := benchMeasured(b)
+	benchTrials(b, bench24FaultConfig(), ev.EvalTrialSerial)
+}
+
 // BenchmarkForwardAllocFree measures the steady-state forward pass in
 // the replica configuration (Workers=1, reused Forwarder). Run with
 // -benchmem: the acceptance criterion is 0 allocs/op.
@@ -143,6 +168,73 @@ func BenchmarkForwardAllocFree(b *testing.B) {
 	f.Forward(ds.Images) // materialize buffers
 	if n := testing.AllocsPerRun(10, func() { f.Forward(ds.Images) }); n != 0 {
 		b.Fatalf("steady-state forward pass allocates %v allocs/op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(ds.Images)
+	}
+}
+
+// BenchmarkForwardAllocFree24 is the same steady-state forward pass with
+// every weight layer routed through the compute-direct 2:4 kernels
+// (weights projected onto the 2:4 pattern). Same acceptance criterion:
+// 0 allocs/op. The ns/op delta vs BenchmarkForwardAllocFree is the raw
+// kernel speedup from skipping half the MACs.
+func BenchmarkForwardAllocFree24(b *testing.B) {
+	ds := train.Synthesize(train.SynthConfig{N: 100, Seed: 1})
+	m := dnn.TinyCNN()
+	m.InitWeights(1)
+	for _, l := range m.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		w := l.Weights
+		s := tensor.NewSparse24(w.Rows, w.Cols)
+		gpr := s.GroupsPerRow
+		for r := 0; r < w.Rows; r++ {
+			for g := 0; g < gpr; g++ {
+				lim := w.Cols - g*4
+				if lim > 4 {
+					lim = 4
+				}
+				// Keep the two largest magnitudes per group (leftmost ties).
+				best, second := -1, -1
+				abs := func(p int) float32 {
+					v := w.Data[r*w.Cols+g*4+p]
+					if v < 0 {
+						v = -v
+					}
+					return v
+				}
+				for p := 0; p < lim; p++ {
+					switch {
+					case best < 0 || abs(p) > abs(best):
+						best, second = p, best
+					case second < 0 || abs(p) > abs(second):
+						second = p
+					}
+				}
+				if second >= 0 && second < best {
+					best, second = second, best
+				}
+				e := (r*gpr + g) * 2
+				k := 0
+				for _, p := range [2]int{best, second} {
+					if p >= 0 && abs(p) != 0 {
+						s.Val[e+k], s.Pos[e+k] = w.Data[r*w.Cols+g*4+p], uint8(p)
+						k++
+					}
+				}
+			}
+		}
+		l.Weights24 = s
+	}
+	f := dnn.NewForwarder(m)
+	f.Workers = 1
+	f.Forward(ds.Images)
+	if n := testing.AllocsPerRun(10, func() { f.Forward(ds.Images) }); n != 0 {
+		b.Fatalf("2:4 steady-state forward pass allocates %v allocs/op, want 0", n)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -46,7 +46,7 @@ import (
 
 func main() {
 	techName := flag.String("tech", "MLC-CTT", "technology (MLC-CTT, MLC-RRAM, Opt MLC-RRAM, SLC-RRAM)")
-	encName := flag.String("encoding", "csr", "encoding: dense|csr|bitmask|idxsync")
+	encName := flag.String("encoding", "csr", "encoding: "+strings.Join(cliutil.EncodingNames(), "|"))
 	bpc := flag.Int("bpc", 3, "default bits per cell")
 	eccList := flag.String("ecc", "", "comma-separated streams to ECC-protect")
 	slcList := flag.String("slc", "", "comma-separated streams forced to SLC")
@@ -63,6 +63,7 @@ func main() {
 	scrubInterval := flag.Float64("scrub-interval", 0, "years between scrub rewrites in lifetime mode (0 = let the scheduler choose, negative = never scrub)")
 	protect := flag.Float64("protect", 0, "criticality-aware protection budget: extra cells as a fraction of the baseline (0 = keep the -ecc/-slc flags as given)")
 	degrade := flag.Bool("degrade", false, "zero uncorrectable ECC blocks instead of decoding their corrupt bits")
+	compare := flag.Bool("compare-encodings", false, "run the same campaign under CSR, bitmask, and 2:4 and report density, blast radius, and trials/s per encoding")
 	fleetN := flag.Int("fleet", 0, "run the campaign as an N-worker single-machine fleet (lease-claimed shards, kill-safe, bit-identical merge)")
 	fleetDir := flag.String("fleet-dir", "", "fleet directory for -fleet (default: a temporary directory; an existing fleet dir is resumed)")
 	tel := cliutil.AddFlags()
@@ -74,18 +75,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var kind sparse.Kind
-	switch strings.ToLower(*encName) {
-	case "dense":
-		kind = sparse.KindDense
-	case "csr":
-		kind = sparse.KindCSR
-	case "bitmask":
-		kind = sparse.KindBitMask
-	case "idxsync":
-		kind = sparse.KindBitMaskIdxSync
-	default:
-		fmt.Fprintf(os.Stderr, "faultsim: unknown encoding %q\n", *encName)
+	kind, err := cliutil.ParseEncoding(*encName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -167,6 +159,14 @@ func main() {
 	if *progress > 0 {
 		opt.Progress = os.Stderr
 		opt.ProgressEvery = *progress
+	}
+
+	if *compare {
+		if *eccList != "" || *slcList != "" || *protect > 0 || *lifetimeYears > 0 || *fleetN > 0 {
+			log.Fatal("faultsim: -compare-encodings runs bare per-encoding configs; drop -ecc/-slc/-protect/-lifetime-years/-fleet")
+		}
+		runCompare(ctx, ev, tech, *bpc, *degrade, opt)
+		return
 	}
 
 	if *lifetimeYears > 0 {
@@ -256,6 +256,83 @@ func main() {
 		tel.Dump() // os.Exit skips the deferred dump
 		os.Exit(130)
 	}
+}
+
+// runCompare runs the same write-time campaign under each compressed
+// encoding and prints a side-by-side table: storage density (encoded
+// bits as a fraction of the dense clustered baseline), fault blast
+// radius (weights corrupted per uncorrected fault event — the
+// misalignment-cascade signature), and campaign throughput. The 2:4 row
+// runs compute-direct: corrupted streams feed the sparse kernels with
+// no dense materialization.
+func runCompare(ctx context.Context, ev *ares.MeasuredEvaluator, tech envm.Tech, bpc int, degrade bool, opt campaign.Options) {
+	kinds := []sparse.Kind{sparse.KindCSR, sparse.KindBitMask, sparse.Kind24}
+	totalWeights := 0
+	var denseBits int64
+	for _, cl := range ev.Clustered() {
+		totalWeights += len(cl.Indices)
+		denseBits += int64(len(cl.Indices) * cl.IndexBits)
+	}
+	fmt.Printf("\n%-10s %8s %10s %14s %9s %12s %10s\n",
+		"encoding", "density", "bits/wt", "blast wts/flt", "trials/s", "mean +delta", "worst")
+	for _, kind := range kinds {
+		cfg := ares.Config{
+			Tech:      tech,
+			Encoding:  kind,
+			Default:   ares.StreamPolicy{BPC: bpc},
+			Overrides: map[string]ares.StreamPolicy{},
+			Degrade:   degrade,
+		}
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		var encBits int64
+		for _, cl := range ev.Clustered() {
+			enc, err := ares.EncodeLayer(cl, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			encBits += enc.SizeBits()
+		}
+		run := func(ctx context.Context, t campaign.Trial) (campaign.Sample, error) {
+			delta, st, err := ev.EvalTrial(ctx, cfg, t.Seed)
+			if err != nil {
+				return campaign.Sample{}, err
+			}
+			return campaign.Sample{
+				Value: delta,
+				Extra: map[string]float64{
+					"faults":   float64(st.Faults),
+					"mismatch": st.Mismatch,
+				},
+			}, nil
+		}
+		label := cfg.String()
+		c, err := campaign.New([]string{label}, run, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, runErr := c.Run(ctx)
+		if runErr != nil {
+			log.Fatal(runErr)
+		}
+		elapsed := time.Since(start).Seconds()
+		cr := res.Config(label)
+		blast := 0.0
+		if cr.Extra["faults"] > 0 {
+			blast = cr.Extra["mismatch"] * float64(totalWeights) / cr.Extra["faults"]
+		}
+		tps := 0.0
+		if elapsed > 0 {
+			tps = float64(res.Executed) / elapsed
+		}
+		fmt.Printf("%-10v %7.1f%% %10.2f %14.2f %9.1f %12.4f %10.4f\n",
+			kind, 100*float64(encBits)/float64(denseBits),
+			float64(encBits)/float64(totalWeights), blast, tps, cr.Mean, cr.Max)
+	}
+	fmt.Printf("dense clustered baseline: %d weights, %.2f bits/wt\n",
+		totalWeights, float64(denseBits)/float64(totalWeights))
 }
 
 // lifetimeArgs bundles the lifetime-mode inputs main hands to

@@ -31,6 +31,8 @@ import (
 	"repro/internal/durable"
 	"repro/internal/envm"
 	"repro/internal/nvsim"
+	"repro/internal/sparse"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 	capMB := flag.Float64("mb", 4, "capacity in decimal MB")
 	bpc := flag.Int("bpc", 1, "bits per cell")
 	targetName := flag.String("target", "edp", "optimization target: edp|area|latency|energy|leakage")
+	encName := flag.String("encoding", "", "size the array for an encoded model: scale -mb by the encoding's density over a synthetic clustered proxy ("+strings.Join(cliutil.EncodingNames(), "|")+"; empty = raw capacity)")
+	proxySparsity := flag.Float64("sparsity", 0.9, "synthetic proxy sparsity for the -encoding density estimate")
 	pareto := flag.Bool("pareto", false, "print the area/latency/energy Pareto frontier")
 	full := flag.Bool("full", false, "print every organization")
 	timeout := flag.Duration("timeout", 0, "per-organization characterization deadline (0 = none)")
@@ -95,6 +99,20 @@ func main() {
 		Tech: tech, BPC: *bpc,
 		CapacityBits: int64(*capMB * 8e6),
 		Target:       target,
+	}
+	if *encName != "" {
+		kind, err := cliutil.ParseEncoding(*encName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvsweep: %v\n", err)
+			os.Exit(2)
+		}
+		density, err := encodedDensity(kind, *proxySparsity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CapacityBits = int64(float64(cfg.CapacityBits) * density)
+		fmt.Fprintf(os.Stderr, "nvsweep: encoding %v stores %.1f%% of the dense clustered bits; sweeping %.2f MB effective capacity\n",
+			kind, 100*density, float64(cfg.CapacityBits)/8e6)
 	}
 	if err := nvsim.Validate(cfg); err != nil {
 		log.Fatal(err)
@@ -241,4 +259,41 @@ func main() {
 		tel.Dump() // os.Exit skips the deferred dump
 		os.Exit(130)
 	}
+}
+
+// encodedDensity estimates an encoding's storage density — encoded bits
+// as a fraction of the dense clustered baseline — over a synthetic
+// pruned+clustered proxy layer (256x256 weights, 4-bit cluster indices,
+// index 0 = pruned). Good enough to size an array for an encoded model
+// without training one; the measured pipeline (faultsim
+// -compare-encodings) reports exact per-model numbers.
+func encodedDensity(kind sparse.Kind, sparsity float64) (float64, error) {
+	if sparsity < 0 || sparsity >= 1 {
+		return 0, fmt.Errorf("nvsweep: proxy sparsity %v must be in [0, 1)", sparsity)
+	}
+	const rows, cols, idxBits = 256, 256, 4
+	src := stats.NewSource(12)
+	indices := make([]uint8, rows*cols)
+	for i := range indices {
+		if !src.Bernoulli(sparsity) {
+			indices[i] = uint8(1 + src.Intn(1<<idxBits-1))
+		}
+	}
+	var enc sparse.Encoding
+	var err error
+	if kind == sparse.Kind24 {
+		// Centroid table for magnitude-based 2-of-4 selection: index 0 is
+		// the pruned zero, the rest spread over [-1, 1].
+		centroids := make([]float32, 1<<idxBits)
+		for i := 1; i < len(centroids); i++ {
+			centroids[i] = float32(i)/float32(len(centroids)-1)*2 - 1
+		}
+		enc, err = sparse.Encode24(indices, rows, cols, idxBits, centroids)
+	} else {
+		enc, err = sparse.Encode(kind, indices, rows, cols, idxBits)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return float64(enc.SizeBits()) / float64(rows*cols*idxBits), nil
 }

@@ -246,15 +246,36 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 	if err := cfg.Validate(); err != nil {
 		return st, nil, err
 	}
-	injectStart := time.Now()
 	clone, err := sparse.CloneEncoding(enc)
 	if err != nil {
 		return st, nil, err
 	}
+	if err := injectStreams(ctx, clone, cfg, seed, &st); err != nil {
+		return st, nil, err
+	}
+	decodeStart := time.Now()
+	decoded := clone.Decode()
+	met.decode.Since(decodeStart)
+	if len(orig) != len(decoded) {
+		return st, nil, fmt.Errorf("ares: %d original indices vs %d decoded", len(orig), len(decoded))
+	}
+	fillCorruption(&st, orig, decoded, centroids)
+	return st, decoded, nil
+}
+
+// injectStreams injects faults per cfg into every stream of the (cloned,
+// caller-owned) encoding, applying ECC correction where configured. It
+// is the one fault-injection loop shared by the decode-to-dense path
+// (RunTrialChecked) and the compute-direct 2:4 path (corruptTrial24):
+// the per-stream fork order src.Fork(i+1) from stats.NewSource(seed) is
+// the seed contract, so both paths draw identical fault maps for the
+// same (cfg, seed).
+func injectStreams(ctx context.Context, clone sparse.Encoding, cfg Config, seed uint64, st *TrialStats) error {
+	injectStart := time.Now()
 	src := stats.NewSource(seed)
 	for i, s := range clone.Streams() {
 		if err := ctx.Err(); err != nil {
-			return st, nil, err
+			return err
 		}
 		p := cfg.PolicyFor(s.Name)
 		if p.BPC == 0 {
@@ -264,20 +285,13 @@ func RunTrialChecked(ctx context.Context, enc sparse.Encoding, orig []uint8, cen
 		ssrc := src.Fork(uint64(i) + 1)
 		if p.ECC {
 			prot := ecc.NewBlockCode(cfg.BlockBits()).Protect(s.Bits)
-			injectProtected(prot, sc, cfg.Degrade, ssrc, &st)
+			injectProtected(prot, sc, cfg.Degrade, ssrc, st)
 		} else {
 			st.Faults += envm.InjectArray(s.Bits, sc, ssrc)
 		}
 	}
 	met.inject.Since(injectStart)
-	decodeStart := time.Now()
-	decoded := clone.Decode()
-	met.decode.Since(decodeStart)
-	if len(orig) != len(decoded) {
-		return st, nil, fmt.Errorf("ares: %d original indices vs %d decoded", len(orig), len(decoded))
-	}
-	fillCorruption(&st, orig, decoded, centroids)
-	return st, decoded, nil
+	return nil
 }
 
 // injectProtected injects faults into a protected stream's data and
@@ -339,7 +353,13 @@ func fillCorruption(st *TrialStats, orig, decoded []uint8, centroids []float32) 
 
 // EncodeLayer encodes a clustered layer under the config's format. An
 // unknown encoding kind (possible when the kind arrives from a CLI flag)
-// is reported as an error.
+// is reported as an error. Kind24 is routed through Encode24 with the
+// layer's centroid table so the 2-of-4 projection keeps the largest-
+// magnitude weights (k-means centroids are sorted by value, not
+// magnitude, so the index is not a usable proxy).
 func EncodeLayer(cl *quant.Clustered, cfg Config) (sparse.Encoding, error) {
+	if cfg.Encoding == sparse.Kind24 {
+		return sparse.Encode24(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits, cl.Centroids)
+	}
 	return sparse.Encode(cfg.Encoding, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits)
 }

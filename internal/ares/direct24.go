@@ -1,0 +1,275 @@
+package ares
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// The compute-direct 2:4 trial route.
+//
+// For the lossless encodings a trial decodes the corrupted streams back
+// to a dense index matrix and runs the dense kernels over it. For
+// Kind24 that decode is pure overhead: the format is fixed-rate, so the
+// corrupted streams canonicalize straight into the compact
+// (value, position) form the tensor.Sparse24 kernels consume — half the
+// MACs, no dense materialization anywhere on the hot path. The
+// decode-to-dense route is kept (EvalTrialSerial, EvalConfig,
+// MeasureDecoded) as the bit-parity reference oracle; the grid test in
+// evaltrial24_test.go pins the two routes identical.
+//
+// Because the 2-of-4 projection is lossy, the 2:4 baseline is the
+// *projected* model: pristine decode of E24 differs from the clustered
+// indices wherever a group held 3+ nonzeros. Trial deltas are measured
+// against baselineErr (the projected model's fault-free error) and
+// corruption statistics against orig24 (the projected indices), so a
+// trial reports only fault damage, never the static projection loss.
+
+// twofourState is the evaluator's lazily-built pristine 2:4 state. It
+// is parameter-free given the clustered layers: E24 depends only on
+// (indices, shape, index bits, centroids), never on storage policies,
+// so one state serves every Kind24 config.
+type twofourState struct {
+	once sync.Once
+	err  error
+	// encs holds the pristine per-layer encodings (trials clone).
+	encs []*sparse.E24
+	// orig24 holds the projected dense indices — the reference the
+	// decode-to-dense oracle and the corruption statistics compare
+	// against.
+	orig24 [][]uint8
+	// compVals/compPos hold the pristine canonical compact form; the
+	// fast path is a bytes.Equal against these.
+	compVals, compPos [][]uint8
+	// pristine24 holds the shared compute-direct weights for layers a
+	// trial did not corrupt (replicas point at them read-only).
+	pristine24 []*tensor.Sparse24
+	// baselineErr is the fault-free error of the projected model,
+	// measured once through the compute-direct kernels.
+	baselineErr float64
+}
+
+// twofour builds (once) and returns the evaluator's pristine 2:4 state.
+func (ev *MeasuredEvaluator) twofour() (*twofourState, error) {
+	tf := &ev.tf
+	tf.once.Do(func() {
+		n := len(ev.clustered)
+		tf.encs = make([]*sparse.E24, n)
+		tf.orig24 = make([][]uint8, n)
+		tf.compVals = make([][]uint8, n)
+		tf.compPos = make([][]uint8, n)
+		tf.pristine24 = make([]*tensor.Sparse24, n)
+		for i, cl := range ev.clustered {
+			enc, err := sparse.Encode24(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits, cl.Centroids)
+			if err != nil {
+				tf.err = err
+				return
+			}
+			tf.encs[i] = enc
+			tf.orig24[i] = enc.Decode()
+			ne := sparse.Entries24(cl.Rows, cl.Cols)
+			tf.compVals[i] = make([]uint8, ne)
+			tf.compPos[i] = make([]uint8, ne)
+			enc.CompactInto(tf.compVals[i], tf.compPos[i])
+			s24 := tensor.NewSparse24(cl.Rows, cl.Cols)
+			for j, v := range tf.compVals[i] {
+				s24.Val[j] = cl.Centroids[v]
+			}
+			copy(s24.Pos, tf.compPos[i])
+			tf.pristine24[i] = s24
+		}
+		// Projected-model baseline, measured through the same kernels the
+		// trials use. One-shot forwarder: replicas are not yet involved.
+		m := ev.Model.CloneShared()
+		for o, li := range ev.layerIdx {
+			m.Layers[li].Weights = ev.snap[li]
+			m.Layers[li].Weights24 = tf.pristine24[o]
+		}
+		fw := dnn.NewForwarder(m)
+		fw.Workers = 1
+		tf.baselineErr = train.ErrorWith(fw, ev.Test)
+	})
+	return tf, tf.err
+}
+
+// runTrial24 runs the inject -> canonicalize stages of one layer's 2:4
+// trial: clone the pristine encoding, inject faults with the shared
+// injectStreams loop (identical fault maps to the decode-to-dense
+// oracle), and extract the corrupted canonical compact form. No dense
+// matrix is built; the corruption statistics walk the compact groups in
+// dense index order, so they are bit-identical to fillCorruption over
+// the decoded matrix.
+func runTrial24(ctx context.Context, enc *sparse.E24, orig24 []uint8, centroids []float32, cfg Config, seed uint64) (TrialStats, []uint8, []uint8, error) {
+	var st TrialStats
+	clone, err := sparse.CloneEncoding(enc)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	e := clone.(*sparse.E24)
+	if err := injectStreams(ctx, e, cfg, seed, &st); err != nil {
+		return st, nil, nil, err
+	}
+	decodeStart := time.Now()
+	ne := sparse.Entries24(e.RowsN, e.ColsN)
+	vals := make([]uint8, ne)
+	pos := make([]uint8, ne)
+	e.CompactInto(vals, pos)
+	met.decode.Since(decodeStart)
+	fillCorruption24(&st, orig24, vals, pos, centroids, e.RowsN, e.ColsN)
+	return st, vals, pos, nil
+}
+
+// fillCorruption24 computes the corruption statistics between the
+// projected original indices and a corrupted canonical compact form,
+// reconstructing each group's 4-slot window on the stack instead of
+// materializing the decoded matrix. The walk visits dense positions in
+// exactly fillCorruption's order with the same accumulation statements,
+// so the resulting statistics are bit-identical to running
+// fillCorruption over Decode()'s output.
+func fillCorruption24(st *TrialStats, orig, vals, pos []uint8, centroids []float32, rows, cols int) {
+	n := len(orig)
+	if n == 0 {
+		return
+	}
+	gpr := (cols + 3) / 4
+	var mismatch, structN int
+	var deltaSS, signalSS float64
+	for r := 0; r < rows; r++ {
+		for g := 0; g < gpr; g++ {
+			var win [4]uint8
+			e := (r*gpr + g) * 2
+			if v := vals[e]; v != 0 {
+				win[pos[e]] = v
+			}
+			if v := vals[e+1]; v != 0 {
+				win[pos[e+1]] = v
+			}
+			lim := cols - g*4
+			if lim > 4 {
+				lim = 4
+			}
+			for p := 0; p < lim; p++ {
+				o, d := orig[r*cols+g*4+p], win[p]
+				wo := float64(centroids[o])
+				signalSS += wo * wo
+				if o == d {
+					continue
+				}
+				mismatch++
+				if (o == 0) != (d == 0) {
+					structN++
+				}
+				wd := float64(centroids[d])
+				deltaSS += (wd - wo) * (wd - wo)
+			}
+		}
+	}
+	st.Mismatch = float64(mismatch) / float64(n)
+	st.StructFrac = float64(structN) / float64(n)
+	if signalSS > 0 {
+		st.ValueNSR = deltaSS / signalSS
+	} else if deltaSS > 0 {
+		st.ValueNSR = 1
+	}
+}
+
+// corruptTrial24 is corruptTrial for the compute-direct route: same
+// per-layer seed derivation (tsrc.Uint64() in layer order from
+// stats.NewSource(seed)), same weight-count-weighted aggregation, but
+// the per-layer outputs are canonical compact forms instead of decoded
+// dense matrices.
+func (ev *MeasuredEvaluator) corruptTrial24(ctx context.Context, cfg Config, seed uint64) ([][]uint8, [][]uint8, TrialStats, error) {
+	var agg TrialStats
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, agg, err
+	}
+	tf, err := ev.twofour()
+	if err != nil {
+		return nil, nil, agg, err
+	}
+	tsrc := stats.NewSource(seed)
+	vals := make([][]uint8, len(ev.clustered))
+	pos := make([][]uint8, len(ev.clustered))
+	for i, cl := range ev.clustered {
+		st, cv, cp, err := runTrial24(ctx, tf.encs[i], tf.orig24[i], cl.Centroids, cfg, tsrc.Uint64())
+		if err != nil {
+			return nil, nil, agg, err
+		}
+		vals[i], pos[i] = cv, cp
+		agg.Faults += st.Faults
+		agg.Corrected += st.Corrected
+		agg.Detected += st.Detected
+		w := float64(len(cl.Indices))
+		agg.StructFrac += st.StructFrac * w
+		agg.Mismatch += st.Mismatch * w
+		agg.ValueNSR += st.ValueNSR * w
+	}
+	total := float64(ev.totalWeights())
+	agg.StructFrac /= total
+	agg.Mismatch /= total
+	agg.ValueNSR /= total
+	if err := ctx.Err(); err != nil {
+		return nil, nil, agg, err
+	}
+	return vals, pos, agg, nil
+}
+
+// evalTrial24 is EvalTrial's compute-direct route: corrupted compact
+// streams go straight into the sparse kernels on a checked-out replica.
+func (ev *MeasuredEvaluator) evalTrial24(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	vals, pos, agg, err := ev.corruptTrial24(ctx, cfg, seed)
+	if err != nil {
+		return 0, agg, err
+	}
+	delta, err := ev.measureCompact24(vals, pos)
+	return delta, agg, err
+}
+
+// measureCompact24 is measureDecoded's compute-direct twin: the fast
+// path compares compact forms (canonicalization makes compact equality
+// equivalent to decoded-matrix equality), and a miss runs the replica's
+// Forwarder with every weight layer on the 2:4 kernels — shared
+// pristine compacts for clean layers, private corrupted buffers for the
+// rest. The delta is measured against the projected-model baseline.
+func (ev *MeasuredEvaluator) measureCompact24(vals, pos [][]uint8) (float64, error) {
+	tf, err := ev.twofour()
+	if err != nil {
+		return 0, err
+	}
+	pristine := true
+	for i := range ev.clustered {
+		if !bytes24Equal(vals[i], pos[i], tf.compVals[i], tf.compPos[i]) {
+			pristine = false
+			break
+		}
+	}
+	if pristine {
+		met.fastHits.Inc()
+		return 0, nil
+	}
+	met.fastMisses.Inc()
+	waitStart := time.Now()
+	r := ev.checkout()
+	defer ev.checkin(r)
+	evalStart := time.Now()
+	for i := range ev.clustered {
+		if bytes24Equal(vals[i], pos[i], tf.compVals[i], tf.compPos[i]) {
+			r.apply24Shared(ev, i, tf.pristine24[i])
+		} else {
+			r.apply24(ev, i, vals[i], pos[i])
+		}
+	}
+	delta := train.ErrorWith(r.fw, ev.Test) - tf.baselineErr
+	met.evalDirect.Since(evalStart)
+	met.evalParallel.Since(waitStart)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, nil
+}

@@ -198,6 +198,10 @@ func (ev *MeasuredEvaluator) LifetimeTrial(ctx context.Context, cfg Config, lp L
 	if err != nil {
 		return res, err
 	}
+	refs, baseline, err := ev.refFor(cfg)
+	if err != nil {
+		return res, err
+	}
 	scrub := lp.Scrubbed()
 	src := stats.NewSource(seed)
 
@@ -242,7 +246,7 @@ func (ev *MeasuredEvaluator) LifetimeTrial(ctx context.Context, cfg Config, lp L
 			if len(dec) != len(cl.Indices) {
 				return res, fmt.Errorf("ares: layer %d: %d decoded vs %d original indices", li, len(dec), len(cl.Indices))
 			}
-			fillCorruption(&st, cl.Indices, dec, cl.Centroids)
+			fillCorruption(&st, refs[li], dec, cl.Centroids)
 			decoded[li] = dec
 
 			agg.Faults += st.Faults
@@ -259,7 +263,7 @@ func (ev *MeasuredEvaluator) LifetimeTrial(ctx context.Context, cfg Config, lp L
 		agg.Mismatch /= total
 		agg.ValueNSR /= total
 
-		delta, err := ev.measureDecoded(decoded)
+		delta, err := ev.measureDecoded(decoded, refs, baseline)
 		if err != nil {
 			return res, err
 		}

@@ -28,6 +28,11 @@ type MeasuredEvaluator struct {
 	layerIdx []int
 	// clustered holds the pruned+clustered form of each weight layer.
 	clustered []*quant.Clustered
+	// origIdx aliases each clustered layer's pristine indices (the
+	// reference matrix for lossless encodings; see refFor).
+	origIdx [][]uint8
+	// tf is the lazily-built compute-direct 2:4 state (see direct24.go).
+	tf twofourState
 
 	// snap is the pristine clustered weight snapshot taken at
 	// construction, restored after every inference.
@@ -66,6 +71,7 @@ func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*Meas
 		cl.Apply(l.Weights) // model now runs on clustered weights
 		ev.layerIdx = append(ev.layerIdx, i)
 		ev.clustered = append(ev.clustered, cl)
+		ev.origIdx = append(ev.origIdx, cl.Indices)
 	}
 	ev.BaselineErr = train.Error(m, test)
 	ev.snap = m.CloneWeights()
@@ -76,6 +82,24 @@ func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*Meas
 
 // Clustered returns the pruned+clustered layers (weight-layer order).
 func (ev *MeasuredEvaluator) Clustered() []*quant.Clustered { return ev.clustered }
+
+// refFor returns the per-layer reference indices and the fault-free
+// baseline error that trials under cfg measure against. Lossless
+// encodings decode pristinely back to the clustered indices, so the
+// references are the clustered layers and the clustered baseline.
+// Kind24's 2-of-4 projection is lossy: its references are the projected
+// indices and the projected-model baseline, so a trial's delta reports
+// only fault damage, never the static projection loss.
+func (ev *MeasuredEvaluator) refFor(cfg Config) ([][]uint8, float64, error) {
+	if cfg.Encoding == sparse.Kind24 {
+		tf, err := ev.twofour()
+		if err != nil {
+			return nil, 0, err
+		}
+		return tf.orig24, tf.baselineErr, nil
+	}
+	return ev.origIdx, ev.BaselineErr, nil
+}
 
 // MeasuredResult is the outcome of a measured fault-injection campaign.
 type MeasuredResult struct {
@@ -99,6 +123,10 @@ func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) Mea
 	for i, cl := range ev.clustered {
 		encs[i] = sparse.Must(EncodeLayer(cl, cfg))
 	}
+	refs, baseline, err := ev.refFor(cfg)
+	if err != nil {
+		panic(err)
+	}
 	snap := ev.Model.CloneWeights()
 	defer ev.Model.RestoreWeights(snap)
 
@@ -108,7 +136,7 @@ func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) Mea
 		tsrc := src.Fork(uint64(t) + 1)
 		var agg TrialStats
 		for i, cl := range ev.clustered {
-			st, decoded := RunTrialDecoded(encs[i], cl.Indices, cl.Centroids, cfg, tsrc.Uint64())
+			st, decoded := RunTrialDecoded(encs[i], refs[i], cl.Centroids, cfg, tsrc.Uint64())
 			agg.Faults += st.Faults
 			agg.Corrected += st.Corrected
 			agg.Detected += st.Detected
@@ -129,7 +157,7 @@ func (ev *MeasuredEvaluator) EvalConfig(cfg Config, trials int, seed uint64) Mea
 		agg.ValueNSR /= total
 		res.Stats = append(res.Stats, agg)
 
-		delta := train.Error(ev.Model, ev.Test) - ev.BaselineErr
+		delta := train.Error(ev.Model, ev.Test) - baseline
 		if delta < 0 {
 			delta = 0
 		}
@@ -180,10 +208,14 @@ func (ev *MeasuredEvaluator) corruptTrial(ctx context.Context, cfg Config, seed 
 	if err != nil {
 		return nil, agg, err
 	}
+	refs, _, err := ev.refFor(cfg)
+	if err != nil {
+		return nil, agg, err
+	}
 	tsrc := stats.NewSource(seed)
 	decodedLayers := make([][]uint8, len(ev.clustered))
 	for i, cl := range ev.clustered {
-		st, decoded, err := RunTrialChecked(ctx, encs[i], cl.Indices, cl.Centroids, cfg, tsrc.Uint64())
+		st, decoded, err := RunTrialChecked(ctx, encs[i], refs[i], cl.Centroids, cfg, tsrc.Uint64())
 		if err != nil {
 			return nil, agg, err
 		}
@@ -233,12 +265,23 @@ func (ev *MeasuredEvaluator) CorruptTrial(ctx context.Context, cfg Config, seed 
 // pure function of (cfg, seed) regardless of worker interleaving or
 // which replica serves the measurement (see replica.go for the
 // argument).
+//
+// Kind24 configs take the compute-direct route (direct24.go): the
+// corrupted compressed streams go straight into the 2:4 sparse kernels
+// with no dense materialization anywhere on the hot path.
 func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	if cfg.Encoding == sparse.Kind24 {
+		return ev.evalTrial24(ctx, cfg, seed)
+	}
 	decodedLayers, agg, err := ev.corruptTrial(ctx, cfg, seed)
 	if err != nil {
 		return 0, agg, err
 	}
-	delta, err := ev.measureDecoded(decodedLayers)
+	refs, baseline, err := ev.refFor(cfg)
+	if err != nil {
+		return 0, agg, err
+	}
+	delta, err := ev.measureDecoded(decodedLayers, refs, baseline)
 	return delta, agg, err
 }
 
@@ -246,13 +289,19 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 // MeasureDecoded path (mutate the one shared model under a mutex). It
 // exists as the reference implementation: the replica path is pinned
 // bit-identical to it by test, and the benchmark suite compares the two
-// to track the parallel speedup.
+// to track the parallel speedup. For Kind24 it is the decode-to-dense
+// oracle: the corrupted streams decode to a dense index matrix and run
+// the dense kernels, pinning the compute-direct route by bit parity.
 func (ev *MeasuredEvaluator) EvalTrialSerial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
 	decodedLayers, agg, err := ev.corruptTrial(ctx, cfg, seed)
 	if err != nil {
 		return 0, agg, err
 	}
-	delta, err := ev.MeasureDecoded(decodedLayers)
+	_, baseline, err := ev.refFor(cfg)
+	if err != nil {
+		return 0, agg, err
+	}
+	delta, err := ev.measureDecodedSerial(decodedLayers, baseline)
 	return delta, agg, err
 }
 
@@ -263,6 +312,12 @@ func (ev *MeasuredEvaluator) EvalTrialSerial(ctx context.Context, cfg Config, se
 // path (see EvalTrialSerial) while the campaign hot path uses the
 // replica-pool measureDecoded in replica.go.
 func (ev *MeasuredEvaluator) MeasureDecoded(decodedLayers [][]uint8) (float64, error) {
+	return ev.measureDecodedSerial(decodedLayers, ev.BaselineErr)
+}
+
+// measureDecodedSerial is MeasureDecoded against an arbitrary baseline
+// (the projected-model baseline on the Kind24 oracle route).
+func (ev *MeasuredEvaluator) measureDecodedSerial(decodedLayers [][]uint8, baseline float64) (float64, error) {
 	if err := ev.checkDecoded(decodedLayers); err != nil {
 		return 0, err
 	}
@@ -275,7 +330,7 @@ func (ev *MeasuredEvaluator) MeasureDecoded(decodedLayers [][]uint8) (float64, e
 			layer.Weights.Data[j] = cl.Centroids[idx]
 		}
 	}
-	delta := train.Error(ev.Model, ev.Test) - ev.BaselineErr
+	delta := train.Error(ev.Model, ev.Test) - baseline
 	ev.Model.RestoreWeights(ev.snap)
 	met.eval.Since(evalStart)
 	if delta < 0 {

@@ -18,6 +18,9 @@ package ares
 // Replica-pool measurement (the parallel inference tail, replica.go):
 //
 //	ares.eval.parallel   wall time of measureDecoded incl. replica wait (ns)
+//	ares.eval.direct     wall time of compute-direct 2:4 measurement —
+//	                     compressed streams straight into the sparse
+//	                     kernels, no dense decode (ns)
 //	ares.fastpath.hits   trials whose decoded indices matched pristine
 //	                     exactly (inference skipped, delta 0 by construction)
 //	ares.fastpath.misses trials that required real inference
@@ -37,7 +40,7 @@ import "repro/internal/telemetry"
 
 var met = struct {
 	encode, inject, decode, eval *telemetry.Timer
-	evalParallel                 *telemetry.Timer
+	evalParallel, evalDirect     *telemetry.Timer
 	cacheHits, cacheMisses       *telemetry.Counter
 	fastHits, fastMisses         *telemetry.Counter
 	replicasCreated              *telemetry.Counter
@@ -52,6 +55,7 @@ var met = struct {
 	decode:          telemetry.Default().Timer("ares.phase.decode"),
 	eval:            telemetry.Default().Timer("ares.phase.eval"),
 	evalParallel:    telemetry.Default().Timer("ares.eval.parallel"),
+	evalDirect:      telemetry.Default().Timer("ares.eval.direct"),
 	cacheHits:       telemetry.Default().Counter("ares.enccache.hits"),
 	cacheMisses:     telemetry.Default().Counter("ares.enccache.misses"),
 	fastHits:        telemetry.Default().Counter("ares.fastpath.hits"),

@@ -46,6 +46,12 @@ type replica struct {
 	// dirty lists the ordinals whose layers currently point at private
 	// buffers, so reset is O(corrupted layers).
 	dirty []int
+	// priv24[i] is the lazily materialized private compute-direct 2:4
+	// buffer for weight-layer ordinal i (Kind24 trials only).
+	priv24 []*tensor.Sparse24
+	// dirty24 lists the ordinals whose layers currently carry a non-nil
+	// Weights24 (shared pristine or private), so reset can clear them.
+	dirty24 []int
 }
 
 // newReplica clones the evaluator's model with shared storage, points
@@ -61,10 +67,12 @@ func (ev *MeasuredEvaluator) newReplica() *replica {
 	fw := dnn.NewForwarder(m)
 	fw.Workers = 1
 	return &replica{
-		model: m,
-		fw:    fw,
-		priv:  make([]*tensor.Matrix, len(ev.clustered)),
-		dirty: make([]int, 0, len(ev.clustered)),
+		model:   m,
+		fw:      fw,
+		priv:    make([]*tensor.Matrix, len(ev.clustered)),
+		dirty:   make([]int, 0, len(ev.clustered)),
+		priv24:  make([]*tensor.Sparse24, len(ev.clustered)),
+		dirty24: make([]int, 0, len(ev.clustered)),
 	}
 }
 
@@ -84,13 +92,50 @@ func (r *replica) apply(ev *MeasuredEvaluator, i int, decoded []uint8) {
 	r.dirty = append(r.dirty, i)
 }
 
+// apply24Shared points weight-layer ordinal i at the evaluator's shared
+// pristine 2:4 compact — read-only, so sharing across replicas is safe.
+func (r *replica) apply24Shared(ev *MeasuredEvaluator, i int, s24 *tensor.Sparse24) {
+	r.model.Layers[ev.layerIdx[i]].Weights24 = s24
+	r.dirty24 = append(r.dirty24, i)
+}
+
+// apply24 swaps weight-layer ordinal i to a private compute-direct 2:4
+// buffer filled from a corrupted canonical compact form: cluster
+// indices map through the centroid table into Val, positions copy
+// verbatim. No dense matrix is materialized.
+func (r *replica) apply24(ev *MeasuredEvaluator, i int, vals, pos []uint8) {
+	cl := ev.clustered[i]
+	buf := r.priv24[i]
+	if buf == nil {
+		buf = tensor.NewSparse24(cl.Rows, cl.Cols)
+		r.priv24[i] = buf
+	}
+	for j, v := range vals {
+		buf.Val[j] = cl.Centroids[v]
+	}
+	copy(buf.Pos, pos)
+	r.model.Layers[ev.layerIdx[i]].Weights24 = buf
+	r.dirty24 = append(r.dirty24, i)
+}
+
 // reset repoints every corrupted layer back at the shared pristine
-// snapshot. Private buffers are kept for reuse.
+// snapshot and clears any 2:4 overlays (a non-nil Weights24 would
+// otherwise shadow the dense weights for the next trial). Private
+// buffers are kept for reuse.
 func (r *replica) reset(ev *MeasuredEvaluator) {
 	for _, i := range r.dirty {
 		r.model.Layers[ev.layerIdx[i]].Weights = ev.snap[ev.layerIdx[i]]
 	}
 	r.dirty = r.dirty[:0]
+	for _, i := range r.dirty24 {
+		r.model.Layers[ev.layerIdx[i]].Weights24 = nil
+	}
+	r.dirty24 = r.dirty24[:0]
+}
+
+// bytes24Equal reports whether two compact forms are equal.
+func bytes24Equal(av, ap, bv, bp []uint8) bool {
+	return bytes.Equal(av, bv) && bytes.Equal(ap, bp)
 }
 
 // initReplicaPool sizes the pool to GOMAXPROCS at construction time.
@@ -146,18 +191,21 @@ func (ev *MeasuredEvaluator) checkDecoded(decodedLayers [][]uint8) error {
 
 // measureDecoded is the parallel inference tail shared by EvalTrial and
 // LifetimeTrial: validate, take the zero-mismatch fast path when every
-// decoded layer equals its pristine indices (the common SLC / post-ECC
-// case — pristine indices reproduce the baseline exactly, so the delta
+// decoded layer equals its reference indices (the common SLC / post-ECC
+// case — reference indices reproduce the baseline exactly, so the delta
 // is 0 by construction), otherwise check out a replica, overlay the
 // corrupted layers, and run real inference. Concurrent calls proceed in
-// parallel up to the pool size.
-func (ev *MeasuredEvaluator) measureDecoded(decodedLayers [][]uint8) (float64, error) {
+// parallel up to the pool size. refs and baseline come from refFor: the
+// clustered indices and clustered baseline for lossless encodings, the
+// projected indices and projected baseline for Kind24's decode-to-dense
+// oracle route.
+func (ev *MeasuredEvaluator) measureDecoded(decodedLayers, refs [][]uint8, baseline float64) (float64, error) {
 	if err := ev.checkDecoded(decodedLayers); err != nil {
 		return 0, err
 	}
 	pristine := true
-	for i, cl := range ev.clustered {
-		if !bytes.Equal(decodedLayers[i], cl.Indices) {
+	for i := range ev.clustered {
+		if !bytes.Equal(decodedLayers[i], refs[i]) {
 			pristine = false
 			break
 		}
@@ -171,12 +219,16 @@ func (ev *MeasuredEvaluator) measureDecoded(decodedLayers [][]uint8) (float64, e
 	r := ev.checkout()
 	defer ev.checkin(r)
 	evalStart := time.Now()
+	// Overlay every layer whose decoded indices differ from the pristine
+	// SNAPSHOT (not the reference): on the Kind24 oracle route a clean
+	// layer decodes to the projected indices, which still differ from the
+	// clustered snapshot the replica's shared matrices hold.
 	for i, cl := range ev.clustered {
 		if !bytes.Equal(decodedLayers[i], cl.Indices) {
 			r.apply(ev, i, decodedLayers[i])
 		}
 	}
-	delta := train.ErrorWith(r.fw, ev.Test) - ev.BaselineErr
+	delta := train.ErrorWith(r.fw, ev.Test) - baseline
 	met.eval.Since(evalStart)
 	met.evalParallel.Since(waitStart)
 	if delta < 0 {

@@ -103,7 +103,7 @@ func TestFastPathFiresIffPristine(t *testing.T) {
 	}
 
 	hits0, misses0 := met.fastHits.Value(), met.fastMisses.Value()
-	delta, err := ev.measureDecoded(pristine)
+	delta, err := ev.measureDecoded(pristine, ev.origIdx, ev.BaselineErr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestFastPathFiresIffPristine(t *testing.T) {
 		corrupted[0][0] = 0
 	}
 	hits0, misses0 = met.fastHits.Value(), met.fastMisses.Value()
-	dCor, err := ev.measureDecoded(corrupted)
+	dCor, err := ev.measureDecoded(corrupted, ev.origIdx, ev.BaselineErr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestFastPathOnPerfectStorage(t *testing.T) {
 // at parity with the serial path.
 func TestMeasureDecodedValidates(t *testing.T) {
 	ev := getMeasured(t)
-	if _, err := ev.measureDecoded(nil); err == nil {
+	if _, err := ev.measureDecoded(nil, ev.origIdx, ev.BaselineErr); err == nil {
 		t.Error("nil decoded layers accepted")
 	}
 	bad := make([][]uint8, len(ev.clustered))
@@ -186,7 +186,7 @@ func TestMeasureDecodedValidates(t *testing.T) {
 		bad[i] = append([]uint8(nil), cl.Indices...)
 	}
 	bad[0] = bad[0][:1]
-	if _, err := ev.measureDecoded(bad); err == nil {
+	if _, err := ev.measureDecoded(bad, ev.origIdx, ev.BaselineErr); err == nil {
 		t.Error("truncated layer accepted")
 	}
 }

@@ -218,6 +218,10 @@ func lambdaEff(bits int64, sc envm.StoreConfig, eccOn bool) float64 {
 // ECC-protected streams the event is two faults in one block (the
 // uncorrectable case); otherwise a single cell fault.
 func probeDamage(enc sparse.Encoding, streamIdx int, cl *quant.Clustered, cfg Config, p StreamPolicy, trials int, src *stats.Source) (dStruct, dNSR, dMismatch float64) {
+	// Reference = the pristine decode: identical to cl.Indices for the
+	// lossless kinds, the projected indices for 2:4 — so the probe
+	// measures fault damage only, never static projection loss.
+	ref := enc.Decode()
 	for t := 0; t < trials; t++ {
 		clone := sparse.Must(sparse.CloneEncoding(enc))
 		s := clone.Streams()[streamIdx]
@@ -254,7 +258,7 @@ func probeDamage(enc sparse.Encoding, streamIdx int, cl *quant.Clustered, cfg Co
 		}
 		decoded := clone.Decode()
 		var st TrialStats
-		fillCorruption(&st, cl.Indices, decoded, cl.Centroids)
+		fillCorruption(&st, ref, decoded, cl.Centroids)
 		dStruct += st.StructFrac
 		dNSR += st.ValueNSR
 		dMismatch += st.Mismatch

@@ -1,0 +1,45 @@
+package cliutil
+
+// The shared -encoding flag parser: every CLI that selects a sparse
+// encoding (faultsim, nvsweep) accepts the same names and rejects
+// unknown ones with the same enumerating message, so a typo tells the
+// operator what IS valid instead of silently defaulting.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// encodingNames maps every accepted -encoding spelling to its kind.
+// "24" and "2:4" are aliases for the structured-sparse encoding.
+var encodingNames = map[string]sparse.Kind{
+	"dense":   sparse.KindDense,
+	"csr":     sparse.KindCSR,
+	"bitmask": sparse.KindBitMask,
+	"idxsync": sparse.KindBitMaskIdxSync,
+	"24":      sparse.Kind24,
+	"2:4":     sparse.Kind24,
+}
+
+// EncodingNames returns the accepted -encoding values, sorted, for
+// flag help text and error messages.
+func EncodingNames() []string {
+	names := make([]string, 0, len(encodingNames))
+	for n := range encodingNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseEncoding resolves an -encoding flag value (case-insensitive).
+// Unknown names return an error enumerating every valid spelling.
+func ParseEncoding(name string) (sparse.Kind, error) {
+	if k, ok := encodingNames[strings.ToLower(name)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("unknown encoding %q (valid: %s)", name, strings.Join(EncodingNames(), ", "))
+}

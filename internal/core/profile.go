@@ -86,7 +86,14 @@ func (o ProfileOptions) withDefaults() ProfileOptions {
 func ProfileLayer(pl PreparedLayer, kind sparse.Kind, opt ProfileOptions) LayerProfile {
 	opt = opt.withDefaults()
 	cl := pl.CL
-	enc := sparse.Must(sparse.Encode(kind, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
+	var enc sparse.Encoding
+	if kind == sparse.Kind24 {
+		// 2:4 selects survivors by centroid magnitude; route the centroid
+		// table through (the generic dispatch has no access to it).
+		enc = sparse.Must(sparse.Encode24(cl.Indices, cl.Rows, cl.Cols, cl.IndexBits, cl.Centroids))
+	} else {
+		enc = sparse.Must(sparse.Encode(kind, cl.Indices, cl.Rows, cl.Cols, cl.IndexBits))
+	}
 	lp := LayerProfile{
 		LayerName:   pl.Name,
 		Kind:        kind,
@@ -134,6 +141,8 @@ func StreamNames(kind sparse.Kind) []string {
 		return []string{"bitmask", "values"}
 	case sparse.KindBitMaskIdxSync:
 		return []string{"bitmask", "values", "idxsync"}
+	case sparse.Kind24:
+		return []string{"values", "meta24"}
 	}
 	panic("core: unknown encoding kind")
 }

@@ -16,7 +16,10 @@ import (
 // A Forwarder is NOT safe for concurrent use; run one per worker (the
 // ares replica pool does exactly that). Weight matrices are read from
 // the model at call time, so swapping a layer's Weights pointer between
-// calls (the replica pool's private corrupted buffers) is supported.
+// calls (the replica pool's private corrupted buffers) is supported —
+// and a non-nil Weights24 routes the layer through the compute-direct
+// 2:4 kernels instead of the dense ones (bit-identical output, half the
+// MACs; see tensor.MulABt24Band).
 type Forwarder struct {
 	m *Model
 	// Workers bounds kernel parallelism (convolution image bands and
@@ -82,14 +85,23 @@ func (f *Forwarder) Forward(in *tensor.Tensor4) *tensor.Matrix {
 		switch l.Kind {
 		case Conv:
 			out := f.ensure(i, x.N, l.Conv.OutC, l.Conv.OutH(), l.Conv.OutW())
-			tensor.Conv2DInto(out, x, l.Weights, l.Bias, l.Conv, &f.conv)
+			if l.Weights24 != nil {
+				tensor.Conv2D24Into(out, x, l.Weights24, l.Bias, l.Conv, &f.conv)
+			} else {
+				tensor.Conv2DInto(out, x, l.Weights, l.Bias, l.Conv, &f.conv)
+			}
 		case FC:
 			out := f.ensure(i, x.N, l.OutFeatures, 1, 1)
 			f.flat = tensor.Matrix{Rows: x.N, Cols: x.C * x.H * x.W, Data: x.Data}
 			f.view = tensor.Matrix{Rows: x.N, Cols: l.OutFeatures, Data: out.Data}
-			if f.Workers == 1 {
+			switch {
+			case l.Weights24 != nil && f.Workers == 1:
+				tensor.MulABt24Band(&f.view, &f.flat, l.Weights24, 0, x.N)
+			case l.Weights24 != nil:
+				tensor.MulABt24Into(&f.view, &f.flat, l.Weights24)
+			case f.Workers == 1:
 				tensor.MulABtBand(&f.view, &f.flat, l.Weights, 0, x.N)
-			} else {
+			default:
 				tensor.MulABtInto(&f.view, &f.flat, l.Weights)
 			}
 			if l.Bias != nil {

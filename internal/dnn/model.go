@@ -85,6 +85,11 @@ type Layer struct {
 	// Weights holds the layer parameters in 2-D form (nil for
 	// pool/add layers). Mutable: fault injection decodes into this.
 	Weights *tensor.Matrix
+	// Weights24, when non-nil, overrides Weights with a compute-direct
+	// 2:4 structured-sparse form: the Forwarder runs the layer through
+	// the sparse kernels without ever materializing a dense matrix. Set
+	// (and cleared) per trial by the ares evaluator's replica pool.
+	Weights24 *tensor.Sparse24
 	// Bias holds the per-output-channel bias (may be nil).
 	Bias []float32
 }

@@ -145,7 +145,11 @@ func PlanProtection(ranks []StreamRank, tech envm.Tech, budgetFrac float64) (Pla
 			derated bool
 		}
 		var cands []candidate
-		if r.Catastrophic && r.BPC > 1 {
+		// meta24 (the 2:4 position stream) is offered SLC derating even
+		// when its probes land under the cascade threshold: a position
+		// flip relocates a weight within its group — structural damage
+		// the fixed-rate format cannot contain any other way.
+		if (r.Catastrophic || r.Name == "meta24") && r.BPC > 1 {
 			cands = append(cands,
 				candidate{ares.StreamPolicy{BPC: 1, ECC: true}, true},
 				candidate{ares.StreamPolicy{BPC: 1}, true})

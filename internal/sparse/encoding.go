@@ -33,6 +33,13 @@ const (
 	KindBitMask
 	// KindBitMaskIdxSync is bitmask plus the proposed IdxSync counters.
 	KindBitMaskIdxSync
+	// Kind24 is the fixed-rate 2:4 structured-sparse format (see E24).
+	// Unlike the kinds above it is lossy on matrices that violate the
+	// 2-of-4 pattern, so it is deliberately NOT part of Kinds: the
+	// surrogate explorer's delta-error model does not account for the
+	// projection loss, and letting it range over Kind24 would make the
+	// lossy format look like free compression in Table 4 / Figure 6.
+	Kind24
 )
 
 // String implements fmt.Stringer, matching the paper's labels.
@@ -46,11 +53,15 @@ func (k Kind) String() string {
 		return "BitMask"
 	case KindBitMaskIdxSync:
 		return "BitM+IdxSync"
+	case Kind24:
+		return "2:4"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Kinds lists all encodings in Table 2 / Figure 6 order.
+// Kinds lists the lossless encodings in Table 2 / Figure 6 order.
+// Kind24 is excluded on purpose (see its doc comment); call sites that
+// compare all formats name it explicitly.
 var Kinds = []Kind{KindDense, KindCSR, KindBitMask, KindBitMaskIdxSync}
 
 // Encode builds the requested encoding for a cluster-index matrix.
@@ -72,6 +83,10 @@ func Encode(kind Kind, indices []uint8, rows, cols, valueBits int) (Encoding, er
 		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{})
 	case KindBitMaskIdxSync:
 		return EncodeBitMask(indices, rows, cols, valueBits, BitMaskOptions{IdxSync: true})
+	case Kind24:
+		// Index-value magnitude proxy; callers holding the layer's
+		// centroid table should call Encode24 directly.
+		return Encode24(indices, rows, cols, valueBits, nil)
 	}
 	return nil, fmt.Errorf("sparse: unknown encoding kind %d", int(kind))
 }
@@ -148,6 +163,12 @@ func CloneEncoding(e Encoding) (Encoding, error) {
 			out.Counters = enc.Counters.Clone()
 		}
 		return out, nil
+	case *E24:
+		return &E24{
+			RowsN: enc.RowsN, ColsN: enc.ColsN, ValueBits: enc.ValueBits,
+			Values: enc.Values.Clone(),
+			Meta:   enc.Meta.Clone(),
+		}, nil
 	}
 	return nil, fmt.Errorf("sparse: CloneEncoding: unknown encoding type %T", e)
 }
@@ -175,4 +196,5 @@ var (
 	_ Encoding = (*Dense)(nil)
 	_ Encoding = (*CSR)(nil)
 	_ Encoding = (*BitMask)(nil)
+	_ Encoding = (*E24)(nil)
 )

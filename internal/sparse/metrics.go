@@ -12,14 +12,20 @@ package sparse
 //	sparse.csr.overrun_reads    entry reads past the end of Values/ColIndex
 //	sparse.bitmask.decodes      BitMask.Decode calls
 //	sparse.bitmask.overrun_reads value reads past the end of Values
+//	sparse.e24.decodes          E24.Decode calls (dense materializations;
+//	                            the compute-direct path never increments it)
+//	sparse.e24.overrun_reads    entry reads past the end of Values/Meta
 import "repro/internal/telemetry"
 
 var met = struct {
 	csrDecodes, csrOverruns         *telemetry.Counter
 	bitmaskDecodes, bitmaskOverruns *telemetry.Counter
+	e24Decodes, e24Overruns         *telemetry.Counter
 }{
 	csrDecodes:      telemetry.Default().Counter("sparse.csr.decodes"),
 	csrOverruns:     telemetry.Default().Counter("sparse.csr.overrun_reads"),
 	bitmaskDecodes:  telemetry.Default().Counter("sparse.bitmask.decodes"),
 	bitmaskOverruns: telemetry.Default().Counter("sparse.bitmask.overrun_reads"),
+	e24Decodes:      telemetry.Default().Counter("sparse.e24.decodes"),
+	e24Overruns:     telemetry.Default().Counter("sparse.e24.overrun_reads"),
 }

@@ -349,6 +349,7 @@ func TestKindString(t *testing.T) {
 	want := map[Kind]string{
 		KindDense: "P+C", KindCSR: "CSR",
 		KindBitMask: "BitMask", KindBitMaskIdxSync: "BitM+IdxSync",
+		Kind24: "2:4",
 	}
 	for k, s := range want {
 		if k.String() != s {

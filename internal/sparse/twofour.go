@@ -1,0 +1,221 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// E24 is the fixed-rate 2:4 structured-sparse encoding: along each row,
+// every group of 4 columns stores at most 2 nonzero cluster indices.
+// Groups with more than 2 nonzeros are *projected* — the 2 largest-
+// magnitude weights survive and the rest are dropped — so unlike CSR and
+// BitMask this encoding is lossy on matrices that violate the 2:4
+// pattern. The payoff is a fixed-rate layout a GEMM kernel can consume
+// directly (see tensor.Sparse24) and, for fault tolerance, the absence
+// of any misalignment cascade: a corrupted metadata element damages at
+// most its own group of 4 weights.
+//
+// Two structures are stored (each becomes one fault-injection stream):
+//
+//   - Values: 2 cluster indices per group (ValueBits each), the kept
+//     entries first in ascending-position order, then zero padding.
+//   - Meta: 2 two-bit in-group positions per group, one per value
+//     element, padding positions stored as 0.
+//
+// The canonical layout invariant (nonzero entries first, ascending
+// position; pad entries are value 0, position 0) makes the compact form
+// a unique function of the decoded group, so compact-form equality is
+// equivalent to decoded-matrix equality — the property the evaluator's
+// pristine fast path relies on.
+type E24 struct {
+	RowsN, ColsN int
+	// ValueBits is the width of each value element (cluster index bits).
+	ValueBits int
+
+	Values *bitstream.Stream
+	Meta   *bitstream.Stream
+}
+
+// groupsPerRow returns the number of 4-column groups per matrix row.
+func groupsPerRow(cols int) int { return (cols + 3) / 4 }
+
+// Entries24 returns the number of stored (value, position) entries for a
+// rows x cols matrix: 2 per group of 4 columns, rows*ceil(cols/4)*2.
+func Entries24(rows, cols int) int { return rows * groupsPerRow(cols) * 2 }
+
+// Encode24 encodes the cluster-index matrix indices (row-major,
+// rows x cols, 0 = pruned weight) into the 2:4 structured-sparse format.
+// Groups holding more than 2 nonzeros keep the 2 entries with the
+// largest weight magnitude |centroids[index]| (ties keep the leftmost).
+// centroids may be nil, in which case the cluster index value itself is
+// the magnitude proxy — adequate for format-level tests, but real
+// callers should pass the layer's centroid table, since k-means
+// centroids are sorted by value, not magnitude.
+func Encode24(indices []uint8, rows, cols, valueBits int, centroids []float32) (*E24, error) {
+	if len(indices) != rows*cols {
+		return nil, fmt.Errorf("sparse: Encode24: %d indices != %d x %d", len(indices), rows, cols)
+	}
+	if valueBits < 1 || valueBits > 8 {
+		return nil, fmt.Errorf("sparse: Encode24: valueBits %d out of range [1, 8]", valueBits)
+	}
+	mag := func(idx uint8) float64 {
+		if centroids != nil && int(idx) < len(centroids) {
+			m := float64(centroids[idx])
+			if m < 0 {
+				m = -m
+			}
+			return m
+		}
+		return float64(idx)
+	}
+	gpr := groupsPerRow(cols)
+	vals := make([]uint8, 0, Entries24(rows, cols))
+	meta := make([]uint8, 0, Entries24(rows, cols))
+	for r := 0; r < rows; r++ {
+		row := indices[r*cols : (r+1)*cols]
+		for g := 0; g < gpr; g++ {
+			// Pick the 2 largest-magnitude nonzeros in the group,
+			// leftmost-wins on ties (strict > against the incumbent).
+			p0, p1 := -1, -1 // winner, runner-up (positions in group)
+			for p := 0; p < 4; p++ {
+				c := g*4 + p
+				if c >= cols || row[c] == 0 {
+					continue
+				}
+				switch {
+				case p0 < 0:
+					p0 = p
+				case p1 < 0:
+					p1 = p
+				case mag(row[c]) > mag(row[g*4+p1]):
+					p1 = p
+				}
+				if p1 >= 0 && mag(row[g*4+p1]) > mag(row[g*4+p0]) {
+					p0, p1 = p1, p0
+				}
+			}
+			// Canonical order: kept entries ascending by position, pads last.
+			if p0 >= 0 && p1 >= 0 && p1 < p0 {
+				p0, p1 = p1, p0
+			}
+			for _, p := range [2]int{p0, p1} {
+				if p < 0 {
+					vals = append(vals, 0)
+					meta = append(meta, 0)
+				} else {
+					vals = append(vals, row[g*4+p])
+					meta = append(meta, uint8(p))
+				}
+			}
+		}
+	}
+	return &E24{
+		RowsN: rows, ColsN: cols, ValueBits: valueBits,
+		Values: bitstream.FromValues8("values", valueBits, vals),
+		Meta:   bitstream.FromValues8("meta24", 2, meta),
+	}, nil
+}
+
+// Decode reconstructs the row-major cluster-index matrix. A corrupted
+// value or position element damages at most its own group of 4 columns:
+// the format is fixed-rate, so there is no misalignment cascade. When
+// two entries of a group collide on one position (a position bit flip),
+// the second entry wins, exactly as a hardware scatter into the group
+// window would behave; positions pointing past the matrix edge in a
+// partial trailing group are dropped. Reads never run past the stored
+// streams even if their lengths are inconsistent (overruns are counted
+// in sparse.e24.overrun_reads).
+func (e *E24) Decode() []uint8 {
+	met.e24Decodes.Inc()
+	out := make([]uint8, e.RowsN*e.ColsN)
+	gpr := groupsPerRow(e.ColsN)
+	overruns := 0
+	ent := 0
+	for r := 0; r < e.RowsN; r++ {
+		for g := 0; g < gpr; g++ {
+			for s := 0; s < 2; s++ {
+				if ent >= e.Values.N || ent >= e.Meta.N {
+					overruns++
+					ent++
+					continue
+				}
+				v := uint8(e.Values.Get(ent))
+				p := int(e.Meta.Get(ent))
+				ent++
+				if v == 0 {
+					continue
+				}
+				if c := g*4 + p; c < e.ColsN {
+					out[r*e.ColsN+c] = v
+				}
+			}
+		}
+	}
+	if overruns > 0 {
+		met.e24Overruns.Add(int64(overruns))
+	}
+	return out
+}
+
+// CompactInto extracts the *canonical* compact form of the (possibly
+// corrupted) encoding into vals and pos, each Entries24(rows, cols)
+// long: per group, the surviving nonzero entries first in ascending
+// position, then (0, 0) pads. It applies the same collision and
+// edge-clamp rules as Decode, then re-canonicalizes, so two encodings
+// have equal compact forms exactly when their decoded matrices are equal
+// — without materializing either matrix. This is the corrupted-trial
+// hot path: the output feeds tensor.Sparse24 directly.
+func (e *E24) CompactInto(vals, pos []uint8) {
+	need := Entries24(e.RowsN, e.ColsN)
+	if len(vals) != need || len(pos) != need {
+		panic(fmt.Sprintf("sparse: CompactInto buffers %d/%d != %d entries", len(vals), len(pos), need))
+	}
+	gpr := groupsPerRow(e.ColsN)
+	overruns := 0
+	ent := 0
+	for r := 0; r < e.RowsN; r++ {
+		for g := 0; g < gpr; g++ {
+			// Reconstruct the group's 4-slot window with Decode's rules.
+			var win [4]uint8
+			for s := 0; s < 2; s++ {
+				if ent >= e.Values.N || ent >= e.Meta.N {
+					overruns++
+					ent++
+					continue
+				}
+				v := uint8(e.Values.Get(ent))
+				p := int(e.Meta.Get(ent))
+				ent++
+				if v == 0 {
+					continue
+				}
+				if c := g*4 + p; c < e.ColsN {
+					win[p] = v
+				}
+			}
+			// Re-canonicalize: at most 2 slots are nonzero (2 entries wrote).
+			o := (r*gpr + g) * 2
+			k := 0
+			for p := 0; p < 4 && k < 2; p++ {
+				if win[p] != 0 {
+					vals[o+k], pos[o+k] = win[p], uint8(p)
+					k++
+				}
+			}
+			for ; k < 2; k++ {
+				vals[o+k], pos[o+k] = 0, 0
+			}
+		}
+	}
+	if overruns > 0 {
+		met.e24Overruns.Add(int64(overruns))
+	}
+}
+
+// Streams returns the value and metadata streams.
+func (e *E24) Streams() []*bitstream.Stream { return []*bitstream.Stream{e.Values, e.Meta} }
+
+// SizeBits returns the stored size in bits: a fixed
+// 2*(ValueBits+2)*ceil(cols/4) bits per row regardless of content.
+func (e *E24) SizeBits() int64 { return e.Values.SizeBits() + e.Meta.SizeBits() }

@@ -30,6 +30,9 @@ func TestPrometheusGolden(t *testing.T) {
 		tm.Hist().Observe(ns)
 	}
 	r.Histogram("envm.faults.per_trial").Observe(9)
+	r.Counter("sparse.gemm24.groups").Add(2400)
+	r.Counter("sparse.gemm24.skipped_macs").Add(9600)
+	r.Timer("ares.eval.direct").Hist().Observe(250000)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {
