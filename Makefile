@@ -29,9 +29,9 @@ FUZZTIME ?= 10s
 # package rather than aggregate so an untested package cannot hide
 # behind a well-tested one.
 COVER_FLOOR ?= 70
-COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet internal/serve internal/supervise internal/chaos
+COVER_PKGS   = internal/campaign internal/envm internal/sparse internal/ecc internal/telemetry internal/cliutil internal/durable internal/errfs internal/fleet internal/serve internal/supervise internal/chaos internal/ares internal/mitigate internal/tensor internal/crossbar
 
-.PHONY: all check build test race race-fast vet cover fuzz fleet-crash chaos bench bench-inference bench-fleet bench-serve serve-smoke clean
+.PHONY: all check build test race race-fast vet cover fuzz fleet-crash chaos bench bench-inference bench-fleet bench-serve bench-crossbar serve-smoke clean
 
 all: check race
 
@@ -59,7 +59,7 @@ race: vet
 # in tier 1 so a data race cannot land even when the full race tier is
 # skipped.
 race-fast:
-	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/sparse/... ./internal/tensor/... ./internal/fleet/... ./internal/serve/... ./internal/supervise/... ./internal/chaos/...
+	$(GO) test -race ./internal/campaign/... ./internal/telemetry/... ./internal/ares/... ./internal/sparse/... ./internal/tensor/... ./internal/crossbar/... ./internal/fleet/... ./internal/serve/... ./internal/supervise/... ./internal/chaos/...
 
 # The server's own end-to-end smoke: train, serve every endpoint on an
 # ephemeral port, scrape /metrics, drain.
@@ -106,6 +106,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzParseLease -fuzztime=$(FUZZTIME) ./internal/fleet/
 	$(GO) test -fuzz=FuzzParseHeartbeat -fuzztime=$(FUZZTIME) ./internal/fleet/
+	$(GO) test -fuzz=FuzzCrossbarConfig -fuzztime=$(FUZZTIME) ./internal/crossbar/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -126,6 +127,16 @@ bench-inference:
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'Fleet' -benchmem -benchtime=2s ./internal/fleet/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_fleet.json
+
+# The tracked crossbar baseline: compute-in-memory trial throughput
+# (ADC-quantized analog kernels vs the digital dense route on identical
+# effective weights, replica pool vs serialized oracle) plus the
+# per-epoch cost of the online detect/remap/degrade loop, written to
+# BENCH_crossbar.json (see bench_crossbar_test.go for the row-by-row
+# comparisons).
+bench-crossbar:
+	$(GO) test -run '^$$' -bench 'Crossbar' -benchmem -benchtime=2s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_crossbar.json
 
 # The tracked server baseline: a closed-loop client fleet against the
 # batched evaluation server (real replica pool behind it), written to

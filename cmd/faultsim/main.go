@@ -16,12 +16,19 @@
 // the scheduler for) the refresh period. Every epoch is its own
 // campaign config with its own checkpoint rows.
 //
+// Crossbar mode (-crossbar) maps the weights onto compute-in-memory
+// arrays instead of a stored-bit encoding and prints a before/after
+// table per -tile size: the bare array (programming variation +
+// stuck-at faults) vs the same array with online soft-error detection
+// and remap scrubbing (see cmd/faultsim/crossbar.go).
+//
 // Usage:
 //
 //	faultsim -tech MLC-CTT -encoding csr -bpc 3 -ecc rowcount,colidx -trials 20
 //	faultsim -trials 64 -ci-target 0.005 -checkpoint run.jsonl
 //	faultsim -resume -checkpoint run.jsonl -trials 64 -ci-target 0.005
 //	faultsim -tech MLC-RRAM -encoding csr -bpc 3 -lifetime-years 10 -protect 0.1
+//	faultsim -crossbar -tile 64x32,128x64 -adc-bits 6 -spare-cols 4 -trials 16
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/crossbar"
 	"repro/internal/dnn"
 	"repro/internal/envm"
 	"repro/internal/mitigate"
@@ -66,6 +74,7 @@ func main() {
 	compare := flag.Bool("compare-encodings", false, "run the same campaign under CSR, bitmask, and 2:4 and report density, blast radius, and trials/s per encoding")
 	fleetN := flag.Int("fleet", 0, "run the campaign as an N-worker single-machine fleet (lease-claimed shards, kill-safe, bit-identical merge)")
 	fleetDir := flag.String("fleet-dir", "", "fleet directory for -fleet (default: a temporary directory; an existing fleet dir is resumed)")
+	xbar := cliutil.AddXbarFlags()
 	tel := cliutil.AddFlags()
 	flag.Parse()
 	tel.Start()
@@ -99,6 +108,18 @@ func main() {
 	}
 	if *resume && *checkpoint == "" {
 		log.Fatal("faultsim: -resume requires -checkpoint")
+	}
+	// Crossbar-mode flag conflicts and tile parsing fail here, before
+	// the training phase, like every other flag validation.
+	var xcfgs []crossbar.Config
+	if *xbar.Enabled {
+		if *eccList != "" || *slcList != "" || *protect > 0 || *lifetimeYears > 0 || *fleetN > 0 || *compare {
+			log.Fatal("faultsim: -crossbar models faults in the compute arrays, not stored bits; drop -ecc/-slc/-protect/-lifetime-years/-fleet/-compare-encodings")
+		}
+		var xerr error
+		if xcfgs, xerr = xbar.Configs(tech); xerr != nil {
+			log.Fatal(xerr)
+		}
 	}
 
 	// SIGINT / SIGTERM cancel the campaign; completed trials are already
@@ -159,6 +180,11 @@ func main() {
 	if *progress > 0 {
 		opt.Progress = os.Stderr
 		opt.ProgressEvery = *progress
+	}
+
+	if *xbar.Enabled {
+		runCrossbar(ctx, ev, m, tech, xcfgs, xbar.Planned(), opt)
+		return
 	}
 
 	if *compare {

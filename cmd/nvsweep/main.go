@@ -55,6 +55,7 @@ func main() {
 	progress := flag.Duration("progress", 0, "progress-line interval on stderr (0 = silent)")
 	fleetN := flag.Int("fleet", 0, "run the sweep as an N-worker single-machine fleet (lease-claimed shards, kill-safe, bit-identical merge)")
 	fleetDir := flag.String("fleet-dir", "", "fleet directory for -fleet (default: a temporary directory; an existing fleet dir is resumed)")
+	xbar := cliutil.AddXbarFlags()
 	tel := cliutil.AddFlags()
 	flag.Parse()
 	tel.Start()
@@ -113,6 +114,30 @@ func main() {
 		cfg.CapacityBits = int64(float64(cfg.CapacityBits) * density)
 		fmt.Fprintf(os.Stderr, "nvsweep: encoding %v stores %.1f%% of the dense clustered bits; sweeping %.2f MB effective capacity\n",
 			kind, 100*density, float64(cfg.CapacityBits)/8e6)
+	}
+	if *xbar.Enabled {
+		// Crossbar compute-in-memory capacity: every weight occupies a
+		// differential device pair, plus the spare columns the online
+		// remapper draws from — there is no compressed encoding to
+		// density-scale. The first -tile entry sizes the array; the dense
+		// clustered proxy (4-bit indices, same as encodedDensity) is the
+		// reference the -mb capacity was stated in.
+		if *encName != "" {
+			log.Fatal("nvsweep: -crossbar stores weights as conductances, not encoded bits; drop -encoding")
+		}
+		xcfgs, err := xbar.Configs(tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xc := xcfgs[0]
+		const proxyIdxBits = 4
+		overhead := float64(xc.SpareCols) / float64(xc.Cols)
+		cells := 2 * (1 + overhead)
+		factor := cells * float64(*bpc) / proxyIdxBits
+		cfg.CapacityBits = int64(float64(cfg.CapacityBits) * factor)
+		fmt.Fprintf(os.Stderr, "nvsweep: crossbar %dx%d tiles store %.2f cells/weight (differential pair + %.1f%% spare columns) at %d bit/cell = %.1f bits/weight vs %d-bit dense indices; sweeping %.2f MB effective capacity\n",
+			xc.Rows, xc.Cols, cells, 100*overhead, *bpc, cells*float64(*bpc), proxyIdxBits,
+			float64(cfg.CapacityBits)/8e6)
 	}
 	if err := nvsim.Validate(cfg); err != nil {
 		log.Fatal(err)

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/crossbar"
 	"repro/internal/ecc"
 	"repro/internal/envm"
 	"repro/internal/quant"
@@ -65,6 +66,12 @@ type Config struct {
 	// TrialStats.DegradedBlocks, instead of cascading corrupt bits
 	// through the decoder.
 	Degrade bool
+	// Crossbar, when non-nil, routes trials through the compute-in-memory
+	// fault model (EvalTrialCrossbar): weights live as differential
+	// conductance pairs on Tech's crossbar tiles and the device faults
+	// perturb the analog matrix-vector product itself. The storage-path
+	// knobs (Encoding, policies, ECC) are ignored on this route.
+	Crossbar *crossbar.Config
 }
 
 // BlockBits resolves the SEC-DED data-block size for protected streams.
@@ -110,6 +117,11 @@ func (c Config) Validate() error {
 	if c.ECCBlockBits > 0 && c.ECCBlockBits < 8 {
 		return fmt.Errorf("ares: ECC block size %d below the 8-bit minimum", c.ECCBlockBits)
 	}
+	if c.Crossbar != nil {
+		if err := c.Crossbar.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -136,6 +148,9 @@ func (c Config) String() string {
 	}
 	if c.Degrade {
 		s += ",degrade"
+	}
+	if c.Crossbar != nil {
+		s += ",xbar:" + c.Crossbar.String()
 	}
 	return s + "]"
 }

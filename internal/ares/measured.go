@@ -51,6 +51,10 @@ type MeasuredEvaluator struct {
 	// encMu guards encCache (pristine per-config encodings; trials clone).
 	encMu    sync.Mutex
 	encCache map[string][]sparse.Encoding
+	// xbarMu guards xbarCache (pristine crossbar mappings and their
+	// mapped baselines, one per tech + mapping design point; see xbar.go).
+	xbarMu    sync.Mutex
+	xbarCache map[string]*xbarState
 }
 
 // NewMeasuredEvaluator prunes and clusters the trained model's weights
@@ -76,6 +80,7 @@ func NewMeasuredEvaluator(m *dnn.Model, test *train.Dataset, seed uint64) (*Meas
 	ev.BaselineErr = train.Error(m, test)
 	ev.snap = m.CloneWeights()
 	ev.encCache = make(map[string][]sparse.Encoding)
+	ev.xbarCache = make(map[string]*xbarState)
 	ev.initReplicaPool()
 	return ev, nil
 }
@@ -270,6 +275,9 @@ func (ev *MeasuredEvaluator) CorruptTrial(ctx context.Context, cfg Config, seed 
 // corrupted compressed streams go straight into the 2:4 sparse kernels
 // with no dense materialization anywhere on the hot path.
 func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	if cfg.Crossbar != nil {
+		return ev.EvalTrialCrossbar(ctx, cfg, seed)
+	}
 	if cfg.Encoding == sparse.Kind24 {
 		return ev.evalTrial24(ctx, cfg, seed)
 	}
@@ -293,6 +301,9 @@ func (ev *MeasuredEvaluator) EvalTrial(ctx context.Context, cfg Config, seed uin
 // oracle: the corrupted streams decode to a dense index matrix and run
 // the dense kernels, pinning the compute-direct route by bit parity.
 func (ev *MeasuredEvaluator) EvalTrialSerial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	if cfg.Crossbar != nil {
+		return ev.evalTrialXbarSerial(ctx, cfg, seed)
+	}
 	decodedLayers, agg, err := ev.corruptTrial(ctx, cfg, seed)
 	if err != nil {
 		return 0, agg, err

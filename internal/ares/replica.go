@@ -52,6 +52,10 @@ type replica struct {
 	// dirty24 lists the ordinals whose layers currently carry a non-nil
 	// Weights24 (shared pristine or private), so reset can clear them.
 	dirty24 []int
+	// dirtyX lists the ordinals whose layers currently carry a non-nil
+	// WeightsXbar (crossbar trials own the handle; the replica only
+	// borrows it for one measurement), so reset can clear them.
+	dirtyX []int
 }
 
 // newReplica clones the evaluator's model with shared storage, points
@@ -73,7 +77,25 @@ func (ev *MeasuredEvaluator) newReplica() *replica {
 		dirty:   make([]int, 0, len(ev.clustered)),
 		priv24:  make([]*tensor.Sparse24, len(ev.clustered)),
 		dirty24: make([]int, 0, len(ev.clustered)),
+		dirtyX:  make([]int, 0, len(ev.clustered)),
 	}
+}
+
+// applyRaw points weight-layer ordinal i at a caller-owned dense weight
+// matrix for the duration of one measurement (the crossbar route's
+// ideal-ADC path: the trial already materialized its effective weights,
+// so the replica borrows them zero-copy instead of filling a private
+// buffer).
+func (r *replica) applyRaw(ev *MeasuredEvaluator, i int, w *tensor.Matrix) {
+	r.model.Layers[ev.layerIdx[i]].Weights = w
+	r.dirty = append(r.dirty, i)
+}
+
+// applyXbar routes weight-layer ordinal i through the crossbar kernels
+// for one measurement.
+func (r *replica) applyXbar(ev *MeasuredEvaluator, i int, x *tensor.Xbar) {
+	r.model.Layers[ev.layerIdx[i]].WeightsXbar = x
+	r.dirtyX = append(r.dirtyX, i)
 }
 
 // apply swaps weight-layer ordinal i to a private buffer filled with
@@ -131,6 +153,10 @@ func (r *replica) reset(ev *MeasuredEvaluator) {
 		r.model.Layers[ev.layerIdx[i]].Weights24 = nil
 	}
 	r.dirty24 = r.dirty24[:0]
+	for _, i := range r.dirtyX {
+		r.model.Layers[ev.layerIdx[i]].WeightsXbar = nil
+	}
+	r.dirtyX = r.dirtyX[:0]
 }
 
 // bytes24Equal reports whether two compact forms are equal.

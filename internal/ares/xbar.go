@@ -1,0 +1,246 @@
+package ares
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/crossbar"
+	"repro/internal/dnn"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+var errNoCrossbar = errors.New("ares: config has no crossbar design point")
+
+// The crossbar compute-in-memory trial route (EvalTrialCrossbar).
+//
+// The storage routes model faults in *stored bits*: inject, decode,
+// apply the decoded weights to digital kernels. Here the array IS the
+// compute: each weight layer maps once to differential conductance
+// pairs on fixed tiles (crossbar.Map), a trial programs that mapping
+// with sampled variation and stuck-at faults, optionally runs the
+// online tolerance loop (detect -> remap -> degrade), and the resulting
+// effective weights run through the crossbar kernels — per-row-tile
+// analog accumulation with per-column ADC quantization — on a
+// checked-out replica.
+//
+// Baseline discipline follows the 2:4 route (direct24.go): the DAC
+// snap of weights to programmed levels and the ADC quantization of the
+// *pristine* mapping are static design losses, so the baseline is the
+// pristine mapped model measured through exactly the kernels trials
+// use. A trial's delta reports only fault damage. With BPC=0, ADC off,
+// and all fault rates zero, the mapping is bit-identical to the
+// clustered weights and the route reproduces the dense digital pass
+// exactly (the determinism-parity acceptance test).
+//
+// Seed contract: per-layer seeds are drawn tsrc.Uint64() in layer
+// order from stats.NewSource(seed), matching corruptTrial; within a
+// layer, Program forks 1..3 (variation / stuck cells / stuck columns)
+// and the scrubber draws from fork 4. The trial outcome is a pure
+// function of (cfg, seed).
+
+// xbarState is the pristine per-design-point crossbar state: one
+// immutable mapping per weight layer plus the mapped baseline error.
+// Fault rates and the online policy do not affect it, so one state
+// serves every campaign config sharing a tech + Config.MapKey (the
+// evaluator caches by that key).
+type xbarState struct {
+	layers      []*crossbar.Layer
+	baselineErr float64
+}
+
+// xbar builds (once per tech + mapping key) and returns the pristine
+// crossbar state for cfg.
+func (ev *MeasuredEvaluator) xbar(cfg Config) (*xbarState, error) {
+	xc := *cfg.Crossbar
+	key := cfg.Tech.Name + "|" + xc.MapKey()
+	ev.xbarMu.Lock()
+	defer ev.xbarMu.Unlock()
+	if xs, ok := ev.xbarCache[key]; ok {
+		met.cacheHits.Inc()
+		return xs, nil
+	}
+	met.cacheMisses.Inc()
+	start := time.Now()
+	xs := &xbarState{layers: make([]*crossbar.Layer, len(ev.clustered))}
+	for i, li := range ev.layerIdx {
+		ly, err := crossbar.Map(ev.snap[li], xc, cfg.Tech)
+		if err != nil {
+			return nil, err
+		}
+		xs.layers[i] = ly
+	}
+	// Mapped baseline, measured through the same kernels the trials
+	// use. With an ideal write DAC and no ADC the mapping is
+	// bit-identical to the clustered snapshot, so the clustered
+	// baseline carries over without an inference pass.
+	if xc.BPC == 0 && xc.ADCBits == 0 {
+		xs.baselineErr = ev.BaselineErr
+	} else {
+		m := ev.Model.CloneShared()
+		for o, li := range ev.layerIdx {
+			if x := xs.layers[o].PristineXbar(); x != nil {
+				m.Layers[li].WeightsXbar = x
+			} else {
+				m.Layers[li].Weights = xs.layers[o].Pristine()
+			}
+		}
+		fw := dnn.NewForwarder(m)
+		fw.Workers = 1
+		xs.baselineErr = train.ErrorWith(fw, ev.Test)
+	}
+	met.encode.Since(start)
+	ev.xbarCache[key] = xs
+	return xs, nil
+}
+
+// XbarGeometry reports the deployed crossbar array geometry for cfg —
+// total column segments and tiles summed over the weight layers — the
+// inputs the online tolerance planner (mitigate.PlanOnline) sizes its
+// threshold and budgets from.
+func (ev *MeasuredEvaluator) XbarGeometry(cfg Config) (segments, tiles int, err error) {
+	if cfg.Crossbar == nil {
+		return 0, 0, errNoCrossbar
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	xs, err := ev.xbar(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, ly := range xs.layers {
+		segments += ly.Segments()
+		tiles += ly.Tiles()
+	}
+	return segments, tiles, nil
+}
+
+// corruptTrialXbar programs every layer's crossbar for one trial and
+// runs the online tolerance loop when enabled, returning the per-layer
+// trials plus aggregated corruption statistics in the storage-route
+// vocabulary: Faults = injected stuck devices + stuck column drivers,
+// Detected = segments flagged online, Corrected = segments remapped to
+// spares, DegradedBlocks = segments zeroed, StructFrac = fraction of
+// weights zeroed by degradation, Mismatch = fraction of effective
+// weights differing from the pristine mapping, ValueNSR = weight-space
+// noise-to-signal vs the mapped baseline.
+func (ev *MeasuredEvaluator) corruptTrialXbar(ctx context.Context, cfg Config, seed uint64) ([]*crossbar.Trial, *xbarState, TrialStats, error) {
+	var agg TrialStats
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, agg, err
+	}
+	xs, err := ev.xbar(cfg)
+	if err != nil {
+		return nil, nil, agg, err
+	}
+	xc := *cfg.Crossbar
+	injectStart := time.Now()
+	tsrc := stats.NewSource(seed)
+	trials := make([]*crossbar.Trial, len(ev.clustered))
+	var zeroedW int
+	for i := range ev.clustered {
+		lseed := tsrc.Uint64()
+		if err := ctx.Err(); err != nil {
+			return nil, nil, agg, err
+		}
+		t, err := xs.layers[i].NewTrial(xc)
+		if err != nil {
+			return nil, nil, agg, err
+		}
+		lsrc := stats.NewSource(lseed)
+		t.Program(lsrc)
+		if xc.Online() {
+			t.Online(lsrc.Fork(4))
+		}
+		trials[i] = t
+		agg.Faults += t.Stats.StuckCells + t.Stats.StuckCols
+		agg.Detected += t.Stats.Flagged
+		agg.Corrected += t.Stats.Remapped
+		agg.DegradedBlocks += t.Stats.Zeroed
+		zeroedW += t.Stats.ZeroedWeights
+		w := float64(len(ev.clustered[i].Indices))
+		agg.Mismatch += t.MismatchFrac() * w
+		agg.ValueNSR += t.NSR() * w
+	}
+	total := float64(ev.totalWeights())
+	agg.StructFrac = float64(zeroedW) / total
+	agg.Mismatch /= total
+	agg.ValueNSR /= total
+	met.inject.Since(injectStart)
+	return trials, xs, agg, nil
+}
+
+// EvalTrialCrossbar runs ONE compute-in-memory trial under cfg
+// (cfg.Crossbar must be set) and returns the measured classification-
+// error delta against the mapped baseline (clamped at 0) plus the
+// aggregated corruption statistics. Same campaign contract as
+// EvalTrial — pure in (cfg, seed), concurrent-safe, measured on a
+// checked-out replica — so campaigns, checkpoints, fleets, and chaos
+// run over it unchanged.
+func (ev *MeasuredEvaluator) EvalTrialCrossbar(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	trials, xs, agg, err := ev.corruptTrialXbar(ctx, cfg, seed)
+	if err != nil {
+		return 0, agg, err
+	}
+	// Fast path: nothing perturbed the mapping, so the measurement
+	// would reproduce the mapped baseline exactly.
+	if agg.Mismatch == 0 {
+		met.fastHits.Inc()
+		return 0, agg, nil
+	}
+	met.fastMisses.Inc()
+	waitStart := time.Now()
+	r := ev.checkout()
+	defer ev.checkin(r)
+	evalStart := time.Now()
+	for i, t := range trials {
+		if x := t.Xbar(); x != nil {
+			r.applyXbar(ev, i, x)
+		} else {
+			r.applyRaw(ev, i, t.W)
+		}
+	}
+	delta := train.ErrorWith(r.fw, ev.Test) - xs.baselineErr
+	met.eval.Since(evalStart)
+	met.evalParallel.Since(waitStart)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, agg, nil
+}
+
+// evalTrialXbarSerial is EvalTrialCrossbar measured through the legacy
+// serialized path (mutate the one shared model under the evaluator
+// mutex) — the reference implementation the replica route is pinned
+// bit-identical to by test.
+func (ev *MeasuredEvaluator) evalTrialXbarSerial(ctx context.Context, cfg Config, seed uint64) (float64, TrialStats, error) {
+	trials, xs, agg, err := ev.corruptTrialXbar(ctx, cfg, seed)
+	if err != nil {
+		return 0, agg, err
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	evalStart := time.Now()
+	var dirtyX []int
+	for i, t := range trials {
+		li := ev.layerIdx[i]
+		if x := t.Xbar(); x != nil {
+			ev.Model.Layers[li].WeightsXbar = x
+			dirtyX = append(dirtyX, li)
+		} else {
+			copy(ev.Model.Layers[li].Weights.Data, t.W.Data)
+		}
+	}
+	delta := train.Error(ev.Model, ev.Test) - xs.baselineErr
+	ev.Model.RestoreWeights(ev.snap)
+	for _, li := range dirtyX {
+		ev.Model.Layers[li].WeightsXbar = nil
+	}
+	met.eval.Since(evalStart)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, agg, nil
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/envm"
+)
+
+func TestParseTile(t *testing.T) {
+	rows, cols, err := ParseTile("64x32")
+	if err != nil || rows != 64 || cols != 32 {
+		t.Fatalf("ParseTile(64x32) = (%d, %d, %v)", rows, cols, err)
+	}
+	for _, bad := range []string{"", "64", "64x", "x32", "0x32", "64x-1", "64*32", "ax b"} {
+		if _, _, err := ParseTile(bad); err == nil {
+			t.Errorf("ParseTile(%q) accepted", bad)
+		}
+	}
+}
+
+func xbarFlagsFor(tiles string, varSigma float64) *XbarFlags {
+	enabled, adc, spares := true, 6, 2
+	stuck, stuckCol, detect := 1e-4, 1e-2, 0.0
+	return &XbarFlags{
+		Enabled: &enabled, tiles: &tiles, adcBits: &adc, spareCols: &spares,
+		varSigma: &varSigma, stuckRate: &stuck, stuckColRate: &stuckCol, detectSigma: &detect,
+	}
+}
+
+func TestXbarFlagsConfigs(t *testing.T) {
+	x := xbarFlagsFor("64x32, 128x64", 0.05)
+	cfgs, err := x.Configs(envm.CTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(cfgs))
+	}
+	if cfgs[0].Rows != 64 || cfgs[0].Cols != 32 || cfgs[1].Rows != 128 || cfgs[1].Cols != 64 {
+		t.Fatalf("tile sizes mangled: %+v", cfgs)
+	}
+	for _, c := range cfgs {
+		if c.VarSigma != 0.05 || c.ADCBits != 6 || c.SpareCols != 2 || c.StuckColRate != 1e-2 {
+			t.Fatalf("flag values mangled: %+v", c)
+		}
+	}
+	if !x.Planned() {
+		t.Fatal("detect-sigma 0 should defer to the planner")
+	}
+
+	// Negative sigma derives from the tech's level model.
+	derived, err := xbarFlagsFor("32x16", -1).Configs(envm.CTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived[0].VarSigma <= 0 {
+		t.Fatalf("derived sigma %v", derived[0].VarSigma)
+	}
+
+	for _, bad := range []string{"", " , ", "0x16", "ax16"} {
+		if _, err := xbarFlagsFor(bad, 0.05).Configs(envm.CTT); err == nil {
+			t.Errorf("tile list %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package crossbar
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCrossbarConfig fuzzes the strict hardware-definition decoder: it
+// must never panic, and anything it accepts must satisfy the same
+// invariants Validate promises (plus the hardware-definition extras:
+// a real ADC). The seed corpus covers the rejection classes from the
+// unit tests so the fuzzer starts at the interesting boundaries.
+func FuzzCrossbarConfig(f *testing.F) {
+	seeds := []string{
+		`{"Rows":64,"Cols":32,"ADCBits":6}`,
+		`{"Rows":64,"Cols":32,"ADCBits":6,"BPC":2,"VarSigma":0.03,"StuckRate":1e-4}`,
+		`{"Rows":0,"Cols":32,"ADCBits":6}`,
+		`{"Rows":64,"Cols":32,"ADCBits":0}`,
+		`{"Rows":64,"Cols":32,"ADCBits":6,"Bogus":1}`,
+		`{"Rows":64,"Cols":32,"ADCBits":6,"VarSigma":null}`,
+		`{"Rows":1e9,"Cols":1e9,"ADCBits":16}`,
+		`{"Rows":64,"Cols":32,"ADCBits":6,"StuckOnFrac":1}`,
+		`[]`,
+		`{}`,
+		`nan`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := LoadConfig(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: every structural invariant must hold.
+		if v := c.Validate(); v != nil {
+			t.Fatalf("LoadConfig accepted a config Validate rejects: %v (%+v from %q)", v, c, data)
+		}
+		if c.Rows < 1 || c.Cols < 1 {
+			t.Fatalf("accepted non-positive tile %dx%d from %q", c.Rows, c.Cols, data)
+		}
+		if c.ADCBits < 1 {
+			t.Fatalf("accepted zero-bit ADC from %q", data)
+		}
+		// The identity string must round-trip into a usable cache key.
+		if c.String() == "" || c.MapKey() == "" {
+			t.Fatalf("accepted config with empty identity from %q", data)
+		}
+	})
+}

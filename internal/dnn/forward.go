@@ -85,7 +85,9 @@ func (f *Forwarder) Forward(in *tensor.Tensor4) *tensor.Matrix {
 		switch l.Kind {
 		case Conv:
 			out := f.ensure(i, x.N, l.Conv.OutC, l.Conv.OutH(), l.Conv.OutW())
-			if l.Weights24 != nil {
+			if l.WeightsXbar != nil {
+				tensor.Conv2DXbarInto(out, x, l.WeightsXbar, l.Bias, l.Conv, &f.conv)
+			} else if l.Weights24 != nil {
 				tensor.Conv2D24Into(out, x, l.Weights24, l.Bias, l.Conv, &f.conv)
 			} else {
 				tensor.Conv2DInto(out, x, l.Weights, l.Bias, l.Conv, &f.conv)
@@ -95,6 +97,10 @@ func (f *Forwarder) Forward(in *tensor.Tensor4) *tensor.Matrix {
 			f.flat = tensor.Matrix{Rows: x.N, Cols: x.C * x.H * x.W, Data: x.Data}
 			f.view = tensor.Matrix{Rows: x.N, Cols: l.OutFeatures, Data: out.Data}
 			switch {
+			case l.WeightsXbar != nil:
+				// The crossbar route is always serial: it runs inside a
+				// replica (Workers=1) or a one-shot baseline pass.
+				tensor.MulABtXbarBand(&f.view, &f.flat, l.WeightsXbar, 0, x.N)
 			case l.Weights24 != nil && f.Workers == 1:
 				tensor.MulABt24Band(&f.view, &f.flat, l.Weights24, 0, x.N)
 			case l.Weights24 != nil:

@@ -90,6 +90,12 @@ type Layer struct {
 	// the sparse kernels without ever materializing a dense matrix. Set
 	// (and cleared) per trial by the ares evaluator's replica pool.
 	Weights24 *tensor.Sparse24
+	// WeightsXbar, when non-nil, routes the layer through the crossbar
+	// compute-in-memory kernels (effective weights with per-row-tile
+	// ADC quantization; see tensor.Xbar). Takes precedence over both
+	// Weights and Weights24. Set (and cleared) per trial by the ares
+	// evaluator's replica pool.
+	WeightsXbar *tensor.Xbar
 	// Bias holds the per-output-channel bias (may be nil).
 	Bias []float32
 }

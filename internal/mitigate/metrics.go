@@ -6,12 +6,15 @@ package mitigate
 //
 //	mitigate.plan.protect  protection plans computed
 //	mitigate.plan.scrub    scrub schedules computed
+//	mitigate.plan.online   online crossbar tolerance policies computed
 
 import "repro/internal/telemetry"
 
 var met = struct {
 	plans, scrubPlans *telemetry.Counter
+	onlinePlans       *telemetry.Counter
 }{
-	plans:      telemetry.Default().Counter("mitigate.plan.protect"),
-	scrubPlans: telemetry.Default().Counter("mitigate.plan.scrub"),
+	plans:       telemetry.Default().Counter("mitigate.plan.protect"),
+	scrubPlans:  telemetry.Default().Counter("mitigate.plan.scrub"),
+	onlinePlans: telemetry.Default().Counter("mitigate.plan.online"),
 }

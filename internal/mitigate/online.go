@@ -1,0 +1,137 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/stats"
+)
+
+// Online crossbar tolerance planning.
+//
+// The offline planners in this package choose storage policies and
+// scrub schedules before deployment. The crossbar's online loop
+// (crossbar.Trial.Online: detect drifted/stuck columns mid-inference,
+// remap them to spares, zero what cannot be repaired) has two policy
+// knobs of its own — the detection threshold and the per-epoch remap
+// budget — and both trade against the same endurance machinery the
+// scrub scheduler budgets from. PlanOnline sizes them:
+//
+//   - MaxRemaps caps the column rewrites one epoch may spend: the
+//     deployment's endurance allowance (MaxEnduranceFrac x
+//     EnduranceCycles), amortized over the epoch cap, and never more
+//     than the spare pool itself.
+//   - DetectSigma comes from a false-alarm budget: every false positive
+//     burns a spare column and a write, so the threshold is set where
+//     the expected false alarms per scrub epoch stay under a fraction
+//     of the remap budget (two-sided Gaussian tail, inverted with
+//     stats.InvQ).
+//
+// The plan is Feasible when the budget covers the expected workload —
+// real stuck columns plus the residual false alarms — so an infeasible
+// plan means the design point needs more spares, a lower fault rate,
+// or a looser bound, not a different threshold.
+
+// falseAlarmFrac is the fraction of the remap budget the planner
+// allots to detection false alarms per epoch.
+const falseAlarmFrac = 0.1
+
+// OnlinePlan is PlanOnline's decision.
+type OnlinePlan struct {
+	// DetectSigma is the chosen detection threshold (multiples of the
+	// column probe-deviation sigma; crossbar.Config.DetectSigma).
+	DetectSigma float64
+	// MaxRemaps is the per-epoch column-rewrite budget
+	// (crossbar.Config.MaxRemaps).
+	MaxRemaps int
+	// TotalSpares is the spare-column pool across all tiles.
+	TotalSpares int
+	// ExpectedStuckCols and ExpectedFalseAlarms are the per-epoch
+	// expected remap workloads: real column faults and residual
+	// detection false positives.
+	ExpectedStuckCols, ExpectedFalseAlarms float64
+	// EnduranceFrac is the worst-case fraction of the tech's endurance
+	// the online scrubber can spend over the deployment (budget fully
+	// used every epoch).
+	EnduranceFrac float64
+	// Feasible reports whether the budget covers the expected workload;
+	// Reason explains a false Feasible.
+	Feasible bool
+	Reason   string
+}
+
+// Apply copies the planned policy onto a crossbar configuration.
+func (op OnlinePlan) Apply(xc crossbar.Config) crossbar.Config {
+	xc.DetectSigma = op.DetectSigma
+	xc.MaxRemaps = op.MaxRemaps
+	return xc
+}
+
+// PlanOnline sizes the online tolerance policy for a crossbar design
+// point deployed under dep. segments and tiles describe the deployed
+// arrays (summed over layers: crossbar.Layer.Segments / Tiles).
+func PlanOnline(dep Deployment, xc crossbar.Config, segments, tiles int) (OnlinePlan, error) {
+	dep = dep.withDefaults()
+	if err := dep.Validate(); err != nil {
+		return OnlinePlan{}, err
+	}
+	if err := xc.Validate(); err != nil {
+		return OnlinePlan{}, err
+	}
+	if segments < 1 || tiles < 1 {
+		return OnlinePlan{}, fmt.Errorf("mitigate: online plan needs a deployed array (%d segments, %d tiles)", segments, tiles)
+	}
+	met.onlinePlans.Inc()
+	op := OnlinePlan{TotalSpares: tiles * xc.SpareCols}
+	op.ExpectedStuckCols = float64(segments) * xc.StuckColRate
+	if op.TotalSpares == 0 {
+		op.Reason = "no spare columns: online remapping cannot run, flagged columns would all be zeroed"
+		return op, nil
+	}
+
+	// Remap budget first: the endurance allowance amortized over the
+	// epoch cap (each remap writes one spare column once), bounded by
+	// the spare pool. A tech without an endurance limit leaves the pool
+	// as the only bound.
+	op.MaxRemaps = op.TotalSpares
+	if dep.Tech.EnduranceCycles > 0 {
+		perEpoch := dep.MaxEnduranceFrac * dep.Tech.EnduranceCycles / float64(dep.MaxEpochs)
+		if w := int(perEpoch); w < op.MaxRemaps {
+			op.MaxRemaps = w
+		}
+		op.EnduranceFrac = float64(op.MaxRemaps*dep.MaxEpochs) / dep.Tech.EnduranceCycles
+	}
+	if op.MaxRemaps < 1 {
+		op.Reason = "endurance budget forbids even one column rewrite per epoch"
+		return op, nil
+	}
+
+	// Threshold from the false-alarm budget: per-segment two-sided tail
+	// 2*Q(s) summed over segments must stay under falseAlarmFrac of the
+	// remap budget (not the spare pool — the budget is what false
+	// alarms actually compete with real faults for). Clamp the implied
+	// tail into InvQ's domain — a huge budget means any threshold works
+	// (floor at 1 sigma), a tiny one saturates at the numerically
+	// meaningful limit.
+	tail := falseAlarmFrac * float64(op.MaxRemaps) / (2 * float64(segments))
+	if tail > 0.5 {
+		tail = 0.5
+	}
+	if tail < 1e-15 {
+		tail = 1e-15
+	}
+	op.DetectSigma = stats.InvQ(tail)
+	if op.DetectSigma < 1 {
+		op.DetectSigma = 1
+	}
+	op.ExpectedFalseAlarms = 2 * stats.QFunc(op.DetectSigma) * float64(segments)
+
+	expected := op.ExpectedStuckCols + op.ExpectedFalseAlarms
+	if expected > float64(op.MaxRemaps) {
+		op.Reason = fmt.Sprintf("expected remap workload %.3g/epoch (%.3g stuck + %.3g false alarms) exceeds the %d-rewrite budget",
+			expected, op.ExpectedStuckCols, op.ExpectedFalseAlarms, op.MaxRemaps)
+		return op, nil
+	}
+	op.Feasible = true
+	return op, nil
+}
